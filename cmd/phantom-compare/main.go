@@ -1,0 +1,45 @@
+// Command phantom-compare prints the Section 5 head-to-head comparison of
+// the four constant-space rate-control algorithms (Phantom, EPRCA, APRC,
+// CAPC) and the CAPC-vs-Phantom detail of Fig. 22.
+//
+// Usage:
+//
+//	phantom-compare [-duration 600ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	duration := flag.Duration("duration", 0, "override simulated duration")
+	flag.Parse()
+
+	for _, id := range []string{"E17", "E16"} {
+		def, ok := exp.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phantom-compare: %s not registered\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
+		res, err := def.Run(exp.Options{Duration: *duration})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-compare:", err)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			fmt.Println(t)
+		}
+		for _, f := range res.Figures {
+			fmt.Println(f)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  • %s\n", n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,116 @@
+// Command phantom-maxmin computes the max-min fair allocation for a
+// topology described on standard input, and the Phantom operating point it
+// predicts for single-link cases. It is the oracle every fairness figure
+// is scored against.
+//
+// Input format (lines; '#' comments allowed):
+//
+//	link <name> <capacity>
+//	session <name> <link> [<link> ...]
+//
+// Example:
+//
+//	echo 'link l0 150
+//	link l1 150
+//	session long l0 l1
+//	session short l0' | phantom-maxmin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+)
+
+func main() {
+	u := flag.Float64("u", 5, "Phantom utilization factor for the predicted operating point")
+	flag.Parse()
+
+	links := map[string]int{}
+	var caps []float64
+	var sessionNames []string
+	var sessions [][]int
+
+	sc := bufio.NewScanner(os.Stdin)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "link":
+			if len(fields) != 3 {
+				fatal(fmt.Errorf("line %d: link <name> <capacity>", lineNo))
+			}
+			c, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %v", lineNo, err))
+			}
+			links[fields[1]] = len(caps)
+			caps = append(caps, c)
+		case "session":
+			if len(fields) < 3 {
+				fatal(fmt.Errorf("line %d: session <name> <link>...", lineNo))
+			}
+			var path []int
+			for _, l := range fields[2:] {
+				idx, ok := links[l]
+				if !ok {
+					fatal(fmt.Errorf("line %d: unknown link %q", lineNo, l))
+				}
+				path = append(path, idx)
+			}
+			sessionNames = append(sessionNames, fields[1])
+			sessions = append(sessions, path)
+		default:
+			fatal(fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(sessions) == 0 {
+		fatal(fmt.Errorf("no sessions on stdin (see -h for the format)"))
+	}
+
+	rates, err := metrics.MaxMinSolve(metrics.MaxMinProblem{Capacity: caps, Sessions: sessions})
+	if err != nil {
+		fatal(err)
+	}
+	tb := plot.NewTable("max-min fair allocation", "session", "rate")
+	for i, r := range rates {
+		tb.AddRow(sessionNames[i], r)
+	}
+	fmt.Println(tb.Render())
+
+	// For sessions alone on one link, also print the Phantom prediction.
+	counts := map[int]int{}
+	for _, path := range sessions {
+		if len(path) == 1 {
+			counts[path[0]]++
+		}
+	}
+	for name, idx := range links {
+		k := counts[idx]
+		if k == 0 {
+			continue
+		}
+		macr, rate := metrics.PhantomEquilibrium(caps[idx]*0.95, k, *u)
+		fmt.Printf("phantom on %s (k=%d single-link sessions, u=%g): MACR=%.3f rate=%.3f util=%.1f%%\n",
+			name, k, *u, macr, rate, 100*float64(k)*rate/caps[idx])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phantom-maxmin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command phantom-sim runs an arbitrary linear ATM topology described in
+// the simconfig language on standard input and prints the standard figure
+// triple (queue, fair-share estimate, session rates) plus a summary table.
+//
+// Example:
+//
+//	phantom-sim <<'EOF'
+//	switches 4
+//	trunk 1 50
+//	alg phantom u=5
+//	session long 0 3 greedy
+//	session narrow 1 2 greedy
+//	duration 500ms
+//	EOF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/simconfig"
+	"repro/internal/trace"
+)
+
+func main() {
+	quiet := flag.Bool("quiet", false, "summary table only, no charts")
+	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
+	svgDir := flag.String("svg", "", "write SVG figures into this directory")
+	csvPath := flag.String("csv", "", "write all series as CSV to this file")
+	flag.Parse()
+
+	spec, err := simconfig.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceN > 0 {
+		spec.Config.Trace = trace.New(*traceN)
+	}
+	n, err := scenario.BuildATM(spec.Config)
+	if err != nil {
+		fatal(err)
+	}
+	n.Run(spec.Duration)
+	end := n.Engine.Now()
+
+	if !*quiet {
+		q := plot.NewChart("trunk queue length", "cells", 0, end)
+		for k, s := range n.TrunkQueue {
+			q.Add(s, fmt.Sprintf("trunk%d", k))
+		}
+		fmt.Println(q.Render())
+
+		fsChart := plot.NewChart("fair-share estimate ("+spec.AlgName+")", "cells/s", 0, end)
+		any := false
+		for k, s := range n.FairShare {
+			if s != nil {
+				fsChart.Add(s, fmt.Sprintf("trunk%d", k))
+				any = true
+			}
+		}
+		if any {
+			fmt.Println(fsChart.Render())
+		}
+
+		acr := plot.NewChart("sessions' allowed rate", "cells/s", 0, end)
+		for i, s := range n.ACR {
+			acr.Add(s, n.Config.Sessions[i].Name)
+		}
+		fmt.Println(acr.Render())
+	}
+
+	oracle, err := n.MaxMinOracle()
+	if err != nil {
+		fatal(err)
+	}
+	from := end - sim.Time(float64(end)*0.25)
+	tb := plot.NewTable("summary ("+spec.AlgName+")",
+		"session", "goodput(cells/s)", "max-min oracle", "ratio", "finalACR")
+	var got []float64
+	for i := range n.Config.Sessions {
+		g := n.Goodput[i].TimeAvg(from, end)
+		got = append(got, g)
+		tb.AddRow(n.Config.Sessions[i].Name, g, oracle[i], g/oracle[i], n.ACR[i].Last())
+	}
+	fmt.Println(tb.Render())
+	fmt.Printf("normalized Jain vs oracle: %.4f\n", metrics.NormalizedJainIndex(got, oracle))
+	for k := range n.TrunkQueue {
+		fmt.Printf("trunk%d: utilization %.1f%%, peak queue %d cells\n",
+			k, 100*n.TrunkUtilization(k), n.PeakTrunkQueue[k])
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, spec.AlgName, n, end); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, n, end); err != nil {
+			fatal(err)
+		}
+	}
+	if tr := spec.Config.Trace; tr != nil {
+		fmt.Printf("\ntrace (last %d of %d events):\n", len(tr.Events()), tr.Seen())
+		if _, err := tr.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeSVGs regenerates the figure triple as SVG files.
+func writeSVGs(dir, algName string, n *scenario.ATMNet, end sim.Time) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	q := plot.NewSVG("trunk queue length", "cells", 0, end)
+	for k, s := range n.TrunkQueue {
+		q.Add(s, fmt.Sprintf("trunk%d", k))
+	}
+	fs := plot.NewSVG("fair-share estimate ("+algName+")", "cells/s", 0, end)
+	for k, s := range n.FairShare {
+		if s != nil {
+			fs.Add(s, fmt.Sprintf("trunk%d", k))
+		}
+	}
+	acr := plot.NewSVG("sessions' allowed rate", "cells/s", 0, end)
+	for i, s := range n.ACR {
+		acr.Add(s, n.Config.Sessions[i].Name)
+	}
+	for name, chart := range map[string]*plot.SVG{
+		"queue.svg": q, "fairshare.svg": fs, "acr.svg": acr,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(chart.Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}
+
+// writeCSV exports every recorded series on a common grid.
+func writeCSV(path string, n *scenario.ATMNet, end sim.Time) error {
+	var series []*metrics.Series
+	var labels []string
+	for i, s := range n.ACR {
+		series = append(series, s)
+		labels = append(labels, "acr_"+n.Config.Sessions[i].Name)
+	}
+	for k, s := range n.TrunkQueue {
+		series = append(series, s)
+		labels = append(labels, fmt.Sprintf("queue_trunk%d", k))
+	}
+	for k, s := range n.FairShare {
+		if s != nil {
+			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("fairshare_trunk%d", k))
+		}
+	}
+	out := plot.CSV(0, end, 1000, series, labels)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phantom-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Parking lot: Phantom achieves max-min fairness across multiple
+// bottlenecks without per-session switch state.
+//
+// A "long" session crosses three 150 Mb/s trunks; each trunk also carries
+// one single-hop cross session. The max-min fair allocation gives every
+// session half a trunk. Binary feedback schemes "beat down" the long
+// session (it gets marked on every hop); Phantom's explicit rate does not,
+// because each hop clamps to the same u·MACR.
+//
+//	go run ./examples/atm-parkinglot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/workload"
+)
+
+func main() {
+	net, err := scenario.BuildATM(scenario.ATMConfig{
+		Switches: 4,
+		Alg:      switchalg.NewPhantom(core.Config{}),
+		Sessions: []scenario.ATMSessionSpec{
+			{Name: "long", Entry: 0, Exit: 3, Pattern: workload.Greedy{}},
+			{Name: "cross0", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
+			{Name: "cross1", Entry: 1, Exit: 2, Pattern: workload.Greedy{}},
+			{Name: "cross2", Entry: 2, Exit: 3, Pattern: workload.Greedy{}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run(800 * sim.Millisecond)
+
+	oracle, err := net.MaxMinOracle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	from := net.Engine.Now() - sim.Time(200*sim.Millisecond)
+	tb := plot.NewTable("parking lot: measured vs max-min oracle",
+		"session", "hops", "goodput(Mb/s)", "oracle(Mb/s)", "ratio")
+	var got []float64
+	hops := []int{3, 1, 1, 1}
+	for i, s := range net.Config.Sessions {
+		g := net.Goodput[i].TimeAvg(from, net.Engine.Now())
+		got = append(got, g)
+		tb.AddRow(s.Name, hops[i], atm.BPS(g)/1e6, atm.BPS(oracle[i])/1e6, g/oracle[i])
+	}
+	fmt.Println(tb.Render())
+	fmt.Printf("normalized Jain index vs oracle: %.4f (1.0 = exactly max-min fair)\n",
+		metrics.NormalizedJainIndex(got, oracle))
+	fmt.Println("\nthe long session is NOT beaten down: its ratio matches the cross sessions'.")
+}

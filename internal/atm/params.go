@@ -1,0 +1,129 @@
+package atm
+
+import "fmt"
+
+// SourceParams are the ABR source end-system parameters of the TM 4.0
+// subset the paper's simulations configure ([Sat96] App. I, quoted in the
+// recovered text). All rates are in cells/s.
+type SourceParams struct {
+	// PCR is the peak cell rate; ACR never exceeds it.
+	PCR float64
+	// ICR is the initial cell rate used at start and after an ACR-retention
+	// timeout.
+	ICR float64
+	// MCR is the minimum cell rate the network guarantees (0 for pure ABR).
+	MCR float64
+	// TCR is the trickle rate: the floor ACR decays to; also the rate at
+	// which an idle source may still emit RM cells. The paper configures
+	// 10 cells/s.
+	TCR float64
+	// Nrm is the number of cells between forward RM cells (every Nrm-th
+	// cell sent is an RM cell).
+	Nrm int
+	// AIRNrm is the additive increase applied to ACR per backward RM cell
+	// received without congestion, in cells/s. The paper quotes the product
+	// AIR·Nrm = 42.5 Mb/s directly, so we parameterize the product.
+	AIRNrm float64
+	// RDF is the rate decrease factor: on a backward RM with CI set,
+	// ACR := ACR·(1 − Nrm/RDF). The paper configures RDF = 256, giving a
+	// 12.5% multiplicative decrease per marked RM with Nrm = 32.
+	RDF float64
+	// TOF is the ACR-retention time-out factor: if the source has been idle
+	// longer than TOF·Nrm/ACR, it restarts from ICR rather than its stale
+	// ACR.
+	TOF float64
+	// CRM is the missing-RM-cell limit (TM 4.0): once CRM forward RM cells
+	// have gone out without any backward RM returning, each further forward
+	// RM multiplies ACR by (1−CDF). This is the safeguard that keeps a
+	// source from blasting while its feedback is stuck behind a deep queue
+	// — without it, large session counts synchronize into a limit cycle of
+	// queue build-up and collapse. Default 32.
+	CRM int
+	// CDF is the cutoff decrease factor applied per offending forward RM
+	// (default 1/2).
+	CDF float64
+}
+
+// DefaultSourceParams returns the paper's end-system configuration:
+// Nrm = 32, AIR·Nrm = 42.5 Mb/s, RDF = 256, PCR = 150 Mb/s, TOF = 2,
+// TCR = 10 cells/s, ICR = 8.5 Mb/s.
+func DefaultSourceParams() SourceParams {
+	return SourceParams{
+		PCR:    CPS(150e6),
+		ICR:    CPS(8.5e6),
+		MCR:    0,
+		TCR:    10,
+		Nrm:    32,
+		AIRNrm: CPS(42.5e6),
+		RDF:    256,
+		TOF:    2,
+		CRM:    32,
+		CDF:    0.5,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p SourceParams) Validate() error {
+	switch {
+	case p.PCR <= 0:
+		return fmt.Errorf("atm: PCR must be positive, got %v", p.PCR)
+	case p.ICR <= 0 || p.ICR > p.PCR:
+		return fmt.Errorf("atm: ICR must be in (0, PCR], got %v", p.ICR)
+	case p.MCR < 0 || p.MCR > p.PCR:
+		return fmt.Errorf("atm: MCR must be in [0, PCR], got %v", p.MCR)
+	case p.TCR < 0:
+		return fmt.Errorf("atm: TCR must be non-negative, got %v", p.TCR)
+	case p.Nrm < 2:
+		return fmt.Errorf("atm: Nrm must be at least 2, got %d", p.Nrm)
+	case p.AIRNrm <= 0:
+		return fmt.Errorf("atm: AIRNrm must be positive, got %v", p.AIRNrm)
+	case p.RDF <= float64(p.Nrm):
+		return fmt.Errorf("atm: RDF must exceed Nrm, got %v", p.RDF)
+	case p.TOF <= 0:
+		return fmt.Errorf("atm: TOF must be positive, got %v", p.TOF)
+	case p.CRM < 1:
+		return fmt.Errorf("atm: CRM must be at least 1, got %d", p.CRM)
+	case p.CDF <= 0 || p.CDF >= 1:
+		return fmt.Errorf("atm: CDF must be in (0,1), got %v", p.CDF)
+	}
+	return nil
+}
+
+// AdjustACR applies the TM 4.0 source reaction to one backward RM cell:
+// multiplicative decrease on CI, hold on NI, additive increase otherwise,
+// then the ER/PCR ceiling and the MCR/TCR floor. It is shared by the ABR
+// source end system and the TCP-over-ATM ingress edge (internal/interop).
+func (p SourceParams) AdjustACR(acr float64, ci bool, er float64) float64 {
+	return p.AdjustACRNI(acr, ci, false, er)
+}
+
+// AdjustACRNI is AdjustACR with the no-increase bit: CI dominates NI.
+func (p SourceParams) AdjustACRNI(acr float64, ci, ni bool, er float64) float64 {
+	switch {
+	case ci:
+		acr *= 1 - float64(p.Nrm)/p.RDF
+	case ni:
+		// hold
+	default:
+		acr += p.AIRNrm
+	}
+	if acr > er {
+		acr = er
+	}
+	if acr > p.PCR {
+		acr = p.PCR
+	}
+	if f := p.floor(); acr < f {
+		acr = f
+	}
+	return acr
+}
+
+// floor returns the lowest rate ACR may take.
+func (p SourceParams) floor() float64 {
+	f := p.TCR
+	if p.MCR > f {
+		f = p.MCR
+	}
+	return f
+}

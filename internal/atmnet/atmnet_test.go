@@ -1,0 +1,213 @@
+package atmnet
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+)
+
+type capture struct {
+	cells []atm.Cell
+	times []sim.Time
+}
+
+func (cs *capture) Receive(e *sim.Engine, c atm.Cell) {
+	cs.cells = append(cs.cells, c)
+	cs.times = append(cs.times, e.Now())
+}
+
+func TestLinkSerializesAtLineRate(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &capture{}
+	l := NewLink("l", 1000, 0, dst) // 1000 cells/s → 1 ms per cell
+	for i := 0; i < 5; i++ {
+		l.Receive(e, atm.Cell{VC: atm.VCID(i)})
+	}
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	if len(dst.cells) != 5 {
+		t.Fatalf("delivered %d, want 5", len(dst.cells))
+	}
+	for i, tm := range dst.times {
+		want := sim.Time((i + 1) * int(sim.Millisecond))
+		if tm != want {
+			t.Fatalf("cell %d delivered at %v, want %v", i, tm, want)
+		}
+	}
+	// FIFO order.
+	for i, c := range dst.cells {
+		if c.VC != atm.VCID(i) {
+			t.Fatalf("out of order: %v", dst.cells)
+		}
+	}
+	if l.Sent() != 5 {
+		t.Fatalf("Sent = %d", l.Sent())
+	}
+}
+
+func TestLinkPropagationDelay(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &capture{}
+	l := NewLink("l", 1000, 7*sim.Millisecond, dst)
+	l.Receive(e, atm.Cell{})
+	e.RunUntil(sim.Time(20 * sim.Millisecond))
+	if len(dst.cells) != 1 {
+		t.Fatal("not delivered")
+	}
+	if dst.times[0] != sim.Time(8*sim.Millisecond) { // 1ms tx + 7ms prop
+		t.Fatalf("delivered at %v, want 8ms", dst.times[0])
+	}
+}
+
+func TestLinkQueueBoundDrops(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &capture{}
+	l := NewLink("l", 1000, 0, dst)
+	l.MaxQueue = 3
+	var drops []atm.Cell
+	l.OnDrop = func(_ sim.Time, c atm.Cell) { drops = append(drops, c) }
+	for i := 0; i < 10; i++ {
+		l.Receive(e, atm.Cell{VC: atm.VCID(i)})
+	}
+	if l.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", l.QueueLen())
+	}
+	if l.Dropped() != 7 || len(drops) != 7 {
+		t.Fatalf("dropped = %d/%d, want 7", l.Dropped(), len(drops))
+	}
+	e.RunUntil(sim.Time(sim.Second))
+	if len(dst.cells) != 3 {
+		t.Fatalf("delivered %d, want 3", len(dst.cells))
+	}
+}
+
+func TestLinkQueueHookAndCompaction(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &capture{}
+	l := NewLink("l", 1e6, 0, dst)
+	var maxQ int
+	l.OnQueue = func(_ sim.Time, q int) {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	// Two bursts to force head compaction.
+	for burst := 0; burst < 2; burst++ {
+		for i := 0; i < 500; i++ {
+			l.Receive(e, atm.Cell{VC: atm.VCID(burst*500 + i)})
+		}
+		e.RunUntil(e.Now().Add(sim.Duration(600) * sim.Microsecond))
+	}
+	e.RunUntil(e.Now().Add(sim.Second))
+	if len(dst.cells) != 1000 {
+		t.Fatalf("delivered %d, want 1000", len(dst.cells))
+	}
+	for i, c := range dst.cells {
+		if c.VC != atm.VCID(i) {
+			t.Fatalf("order broken at %d: got VC %d", i, c.VC)
+		}
+	}
+	if maxQ == 0 {
+		t.Fatal("queue hook never saw a backlog")
+	}
+}
+
+func TestLinkPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for rate 0")
+		}
+	}()
+	NewLink("bad", 0, 0, &capture{})
+}
+
+func TestSwitchRoutesForwardAndBackward(t *testing.T) {
+	e := sim.NewEngine()
+	fwdDst, bwdDst := &capture{}, &capture{}
+	sw := NewSwitch("sw")
+	fp := sw.AddPort(e, NewLink("fwd", 1e6, 0, fwdDst), nil)
+	bp := sw.AddPort(e, NewLink("bwd", 1e6, 0, bwdDst), nil)
+	sw.Route(1, fp, bp)
+
+	sw.Receive(e, atm.Cell{VC: 1, Kind: atm.Data})
+	sw.Receive(e, atm.Cell{VC: 1, Kind: atm.ForwardRM, ER: 100})
+	sw.Receive(e, atm.Cell{VC: 1, Kind: atm.BackwardRM, ER: 100})
+	e.RunUntil(sim.Time(sim.Millisecond))
+
+	if len(fwdDst.cells) != 2 {
+		t.Fatalf("forward port delivered %d, want 2", len(fwdDst.cells))
+	}
+	if len(bwdDst.cells) != 1 || bwdDst.cells[0].Kind != atm.BackwardRM {
+		t.Fatalf("backward port delivered %v", bwdDst.cells)
+	}
+}
+
+func TestSwitchUnknownVCPanics(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch("sw")
+	defer func() {
+		if recover() == nil {
+			t.Error("unrouted VC did not panic")
+		}
+	}()
+	sw.Receive(e, atm.Cell{VC: 42, Kind: atm.Data})
+}
+
+func TestSwitchBackwardRMGetsForwardPortFeedback(t *testing.T) {
+	// The backward RM of VC 1 exits on the bwd port but must be clamped by
+	// the *forward* port's Phantom instance.
+	e := sim.NewEngine()
+	fwdDst, bwdDst := &capture{}, &capture{}
+	sw := NewSwitch("sw")
+	cfg := core.Config{UtilizationFactor: 5, InitialMACR: 1000}
+	fp := sw.AddPort(e, NewLink("fwd", 1e6, 0, fwdDst), switchalg.NewPhantom(cfg)())
+	bp := sw.AddPort(e, NewLink("bwd", 1e6, 0, bwdDst), nil)
+	sw.Route(1, fp, bp)
+
+	sw.Receive(e, atm.Cell{VC: 1, Kind: atm.BackwardRM, ER: 1e9})
+	e.RunUntil(sim.Time(sim.Millisecond))
+	if len(bwdDst.cells) != 1 {
+		t.Fatal("backward RM not delivered")
+	}
+	if got := bwdDst.cells[0].ER; got != 5000 { // u·InitialMACR = 5·1000
+		t.Fatalf("ER = %v, want clamp to 5000", got)
+	}
+}
+
+func TestSwitchMetersTransmittedCells(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &capture{}
+	sw := NewSwitch("sw")
+	alg := switchalg.NewPhantom(core.Config{})().(*switchalg.Phantom)
+	var residuals []float64
+	alg.OnTick = func(_ sim.Time, r, _ float64) { residuals = append(residuals, r) }
+	fp := sw.AddPort(e, NewLink("fwd", 1000, 0, dst), alg) // 1000 cells/s
+	sw.Route(1, fp, nil)
+
+	// Saturate the port for 100 ms.
+	e.Every(sim.Millisecond, func(en *sim.Engine) {
+		sw.Receive(en, atm.Cell{VC: 1, Kind: atm.Data})
+	})
+	e.RunUntil(sim.Time(100 * sim.Millisecond))
+	if len(residuals) < 50 {
+		t.Fatalf("only %d ticks", len(residuals))
+	}
+	// Port fully busy: residual ≈ target − 1000 = 950 − 1000 < 0.
+	last := residuals[len(residuals)-1]
+	if last > 0 {
+		t.Fatalf("residual under saturation = %v, want ≤ 0", last)
+	}
+	if alg.Control().MACR() > 100 {
+		t.Fatalf("MACR = %v, want near zero under saturation", alg.Control().MACR())
+	}
+}
+
+func TestPortImplementsSwitchalgPort(t *testing.T) {
+	var _ switchalg.Port = (*Port)(nil)
+	p := &Port{Link: NewLink("l", 123, 0, &capture{})}
+	if p.Capacity() != 123 || p.QueueLen() != 0 {
+		t.Fatal("port view wrong")
+	}
+}

@@ -1,0 +1,137 @@
+// Package atmnet wires the ATM data plane into networks: links that
+// serialize cells at line rate with propagation delay and an output queue,
+// and switches that route cells per VC and host a rate-control algorithm on
+// each output port.
+package atmnet
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Link is a unidirectional link with an output FIFO. Cells received while
+// the transmitter is busy queue up; the queue is the quantity every figure
+// of the paper plots. A Link implements atm.Sink so any component can feed
+// it.
+type Link struct {
+	Name string
+	// RateCPS is the line rate in cells/s.
+	RateCPS float64
+	// Delay is the propagation delay.
+	Delay sim.Duration
+	// MaxQueue bounds the FIFO in cells; 0 means unbounded (ABR switches in
+	// the paper are not buffer-limited; the TCP experiments set a bound).
+	MaxQueue int
+	// Dst receives cells after transmission + propagation.
+	Dst atm.Sink
+
+	// OnTransmit fires when a cell finishes transmission (the metering
+	// point for Phantom). The cell may not be modified.
+	OnTransmit func(now sim.Time, c *atm.Cell)
+	// OnQueue fires when the queue length changes.
+	OnQueue func(now sim.Time, qlen int)
+	// OnDrop fires when MaxQueue forces a drop.
+	OnDrop func(now sim.Time, c atm.Cell)
+
+	// LossRate injects random cell loss in [0,1) for failure testing
+	// (a noisy line corrupting cells, including RM cells). Deterministic
+	// per LossSeed. Zero disables injection.
+	LossRate float64
+	LossSeed uint64
+
+	lossRNG *workload.RNG
+	lost    int64
+
+	queue   []atm.Cell
+	head    int
+	busy    bool
+	dropped int64
+	sent    int64
+}
+
+// NewLink builds a link with the given line rate (cells/s), propagation
+// delay and destination.
+func NewLink(name string, rateCPS float64, delay sim.Duration, dst atm.Sink) *Link {
+	if rateCPS <= 0 {
+		panic(fmt.Sprintf("atmnet: link %q with non-positive rate", name))
+	}
+	return &Link{Name: name, RateCPS: rateCPS, Delay: delay, Dst: dst}
+}
+
+// QueueLen returns the number of cells waiting (excluding the one on the
+// wire).
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// Dropped returns the number of cells dropped by the queue bound.
+func (l *Link) Dropped() int64 { return l.dropped }
+
+// Sent returns the number of cells fully transmitted.
+func (l *Link) Sent() int64 { return l.sent }
+
+// Lost returns the number of cells destroyed by injected loss.
+func (l *Link) Lost() int64 { return l.lost }
+
+// Receive implements atm.Sink: enqueue and start the transmitter.
+func (l *Link) Receive(e *sim.Engine, c atm.Cell) {
+	if l.LossRate > 0 {
+		if l.lossRNG == nil {
+			l.lossRNG = workload.NewRNG(l.LossSeed)
+		}
+		if l.lossRNG.Float64() < l.LossRate {
+			l.lost++
+			return
+		}
+	}
+	if l.MaxQueue > 0 && l.QueueLen() >= l.MaxQueue {
+		l.dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(e.Now(), c)
+		}
+		return
+	}
+	l.queue = append(l.queue, c)
+	if l.OnQueue != nil {
+		l.OnQueue(e.Now(), l.QueueLen())
+	}
+	l.startTx(e)
+}
+
+// pop removes the head cell, compacting the backing array lazily.
+func (l *Link) pop() atm.Cell {
+	c := l.queue[l.head]
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	return c
+}
+
+// startTx begins transmitting the head cell if the line is idle.
+func (l *Link) startTx(e *sim.Engine) {
+	if l.busy || l.QueueLen() == 0 {
+		return
+	}
+	l.busy = true
+	e.After(sim.DurationOf(1, l.RateCPS), func(en *sim.Engine) {
+		c := l.pop()
+		l.busy = false
+		l.sent++
+		if l.OnQueue != nil {
+			l.OnQueue(en.Now(), l.QueueLen())
+		}
+		if l.OnTransmit != nil {
+			l.OnTransmit(en.Now(), &c)
+		}
+		if l.Delay > 0 {
+			en.After(l.Delay, func(en2 *sim.Engine) { l.Dst.Receive(en2, c) })
+		} else {
+			l.Dst.Receive(en, c)
+		}
+		l.startTx(en)
+	})
+}

@@ -1,0 +1,99 @@
+package atmnet
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+)
+
+// Port is one switch output port: a link plus the rate-control algorithm
+// governing it. It satisfies switchalg.Port so the algorithm can observe
+// its queue and capacity.
+type Port struct {
+	Link *Link
+	Alg  switchalg.Algorithm
+}
+
+// QueueLen implements switchalg.Port.
+func (p *Port) QueueLen() int { return p.Link.QueueLen() }
+
+// Capacity implements switchalg.Port.
+func (p *Port) Capacity() float64 { return p.Link.RateCPS }
+
+// Switch routes cells between ports. Routing is static per VC: data and
+// forward RM cells of a VC leave on its forward port; backward RM cells
+// leave on its backward port but receive feedback from the *forward* port's
+// algorithm, because that is the port the VC's data contends for — exactly
+// how the ATM-Forum switch proposals are specified.
+type Switch struct {
+	Name  string
+	ports []*Port
+	fwd   map[atm.VCID]*Port
+	bwd   map[atm.VCID]*Port
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{Name: name, fwd: map[atm.VCID]*Port{}, bwd: map[atm.VCID]*Port{}}
+}
+
+// AddPort registers an output port built from link and an optional
+// algorithm (nil means plain FIFO). The algorithm is attached immediately
+// and wired to meter the link's transmissions.
+func (s *Switch) AddPort(e *sim.Engine, link *Link, alg switchalg.Algorithm) *Port {
+	p := &Port{Link: link, Alg: alg}
+	if alg != nil {
+		alg.Attach(e, p)
+		prev := link.OnTransmit
+		link.OnTransmit = func(now sim.Time, c *atm.Cell) {
+			alg.OnTransmit(now, c)
+			if prev != nil {
+				prev(now, c)
+			}
+		}
+	}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Route installs the static route for a VC: forward-direction cells exit on
+// fwd; backward RM cells exit on bwd. Either may be nil when the switch is
+// not on that direction's path (e.g. the last switch before the destination
+// still forwards data but a different switch handles the reverse).
+func (s *Switch) Route(vc atm.VCID, fwd, bwd *Port) {
+	if fwd != nil {
+		s.fwd[vc] = fwd
+	}
+	if bwd != nil {
+		s.bwd[vc] = bwd
+	}
+}
+
+// Receive implements atm.Sink.
+func (s *Switch) Receive(e *sim.Engine, c atm.Cell) {
+	now := e.Now()
+	if c.Kind == atm.BackwardRM {
+		if fp := s.fwd[c.VC]; fp != nil && fp.Alg != nil {
+			fp.Alg.OnBackwardRM(now, &c)
+		}
+		bp := s.bwd[c.VC]
+		if bp == nil {
+			panic(fmt.Sprintf("atmnet: switch %s has no backward route for VC %d", s.Name, c.VC))
+		}
+		bp.Link.Receive(e, c)
+		return
+	}
+	fp := s.fwd[c.VC]
+	if fp == nil {
+		panic(fmt.Sprintf("atmnet: switch %s has no forward route for VC %d", s.Name, c.VC))
+	}
+	if fp.Alg != nil {
+		fp.Alg.OnArrival(now, &c)
+		if c.Kind == atm.ForwardRM {
+			fp.Alg.OnForwardRM(now, &c)
+		}
+	}
+	fp.Link.Receive(e, c)
+}

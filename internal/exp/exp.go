@@ -1,0 +1,95 @@
+// Package exp defines the reproduction experiments: one Definition per
+// table or figure of the paper (E01–E17) plus the ablations of our
+// reconstruction choices (A01–A03). Each experiment builds its scenario,
+// runs it, and returns rendered figures, tables and a flat map of summary
+// metrics that the benchmark harness reports and EXPERIMENTS.md records.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Options tune a run without changing its meaning.
+type Options struct {
+	// Duration overrides the experiment's default simulated time. Shorter
+	// runs converge less tightly but keep the shapes.
+	Duration sim.Duration
+	// Quiet suppresses figure rendering (benchmarks want metrics only).
+	Quiet bool
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID      string
+	Title   string
+	Figures []string
+	Tables  []string
+	// Summary holds the scalar metrics, keyed by stable names.
+	Summary map[string]float64
+	// Notes records the expected shape from the paper and what we saw.
+	Notes []string
+}
+
+// JSON renders the result as indented JSON: id, title, summary metrics and
+// notes (figures and tables are terminal artifacts and are omitted). The
+// CLIs expose it behind their -json flag for scripted consumption.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title,omitempty"`
+		Summary map[string]float64 `json:"summary"`
+		Notes   []string           `json:"notes"`
+	}{r.ID, r.Title, r.Summary, r.Notes}, "", "  ")
+}
+
+// addf appends a formatted note.
+func (r *Result) addf(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Definition names a reproducible experiment.
+type Definition struct {
+	ID       string // e.g. "E01"
+	PaperRef string // e.g. "Fig. 3"
+	Title    string
+	Default  sim.Duration
+	Run      func(o Options) (*Result, error)
+}
+
+var registry = map[string]Definition{}
+
+// register installs a definition; duplicate IDs are a programming error.
+func register(d Definition) {
+	if _, dup := registry[d.ID]; dup {
+		panic("exp: duplicate experiment " + d.ID)
+	}
+	registry[d.ID] = d
+}
+
+// Get returns the definition for id.
+func Get(id string) (Definition, bool) {
+	d, ok := registry[id]
+	return d, ok
+}
+
+// All returns every definition ordered by ID.
+func All() []Definition {
+	out := make([]Definition, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// duration applies the default when the option is zero.
+func (o Options) duration(def sim.Duration) sim.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return def
+}

@@ -1,0 +1,283 @@
+package ip
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+type pktCapture struct {
+	pkts  []*Packet
+	times []sim.Time
+}
+
+func (pc *pktCapture) Receive(e *sim.Engine, p *Packet) {
+	pc.pkts = append(pc.pkts, p)
+	pc.times = append(pc.times, e.Now())
+}
+
+func TestPacketSizes(t *testing.T) {
+	data := &Packet{Len: 512}
+	if data.SizeBytes() != 552 || data.SizeBits() != 552*8 {
+		t.Fatalf("data size = %d/%v", data.SizeBytes(), data.SizeBits())
+	}
+	ack := &Packet{Ack: true}
+	if ack.SizeBytes() != 40 {
+		t.Fatalf("ack size = %d", ack.SizeBytes())
+	}
+}
+
+func TestPortSerializesByPacketSize(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &pktCapture{}
+	// 552 bytes at 552*8 bits/ms = 4.416 Mb/s → 1 ms per data packet.
+	p := NewPort("p", 552*8*1000, 0, dst)
+	p.Receive(e, &Packet{Len: 512})
+	p.Receive(e, &Packet{Len: 512})
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	if len(dst.pkts) != 2 {
+		t.Fatalf("delivered %d", len(dst.pkts))
+	}
+	if dst.times[0] != sim.Time(sim.Millisecond) || dst.times[1] != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("times = %v", dst.times)
+	}
+	if p.SentPackets() != 2 || p.SentBytes() != 1104 {
+		t.Fatalf("sent stats = %d/%d", p.SentPackets(), p.SentBytes())
+	}
+}
+
+func TestPortTailDrop(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &pktCapture{}
+	p := NewPort("p", 1e6, 0, dst)
+	p.MaxQueue = 2
+	var reasons []string
+	p.OnDrop = func(_ sim.Time, _ *Packet, r string) { reasons = append(reasons, r) }
+	for i := 0; i < 5; i++ {
+		p.Receive(e, &Packet{Len: 512})
+	}
+	if p.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", p.Dropped())
+	}
+	for _, r := range reasons {
+		if r != "tail" {
+			t.Fatalf("reason = %q", r)
+		}
+	}
+	if p.QueueBytes() != 2*552 {
+		t.Fatalf("QueueBytes = %d", p.QueueBytes())
+	}
+}
+
+func TestPortPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewPort("bad", 0, 0, &pktCapture{})
+}
+
+func TestRouterRoutesByDirection(t *testing.T) {
+	e := sim.NewEngine()
+	fwdDst, revDst := &pktCapture{}, &pktCapture{}
+	r := NewRouter("r")
+	fp := NewPort("f", 1e9, 0, fwdDst)
+	rp := NewPort("r", 1e9, 0, revDst)
+	r.Route(1, fp, rp)
+	r.Receive(e, &Packet{Flow: 1, Len: 512})
+	r.Receive(e, &Packet{Flow: 1, Ack: true})
+	e.RunUntil(sim.Time(sim.Millisecond))
+	if len(fwdDst.pkts) != 1 || len(revDst.pkts) != 1 {
+		t.Fatalf("routing wrong: %d fwd, %d rev", len(fwdDst.pkts), len(revDst.pkts))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown flow did not panic")
+		}
+	}()
+	r.Receive(e, &Packet{Flow: 9})
+}
+
+func TestREDDropsBetweenThresholds(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &pktCapture{}
+	p := NewPort("p", 1e6, 0, dst) // slow: queue builds
+	red := NewRED(7)
+	red.Wq = 0.5 // fast averaging so the test converges quickly
+	p.Attach(e, red)
+
+	drops := 0
+	p.OnDrop = func(sim.Time, *Packet, string) { drops++ }
+	for i := 0; i < 200; i++ {
+		p.Receive(e, &Packet{Flow: 1, Len: 512})
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped despite a large backlog")
+	}
+	// Above MaxTh the average forces drops: the tail of the burst must be
+	// mostly dropped, so the admitted queue is far below 200.
+	if p.QueueLen() > 100 {
+		t.Fatalf("queue = %d, RED failed to bound it", p.QueueLen())
+	}
+	if red.Avg() <= 0 {
+		t.Fatal("average queue not tracked")
+	}
+}
+
+func TestREDLeavesShortQueuesAlone(t *testing.T) {
+	e := sim.NewEngine()
+	dst := &pktCapture{}
+	p := NewPort("p", 1e9, 0, dst) // fast: queue never builds
+	p.Attach(e, NewRED(7))
+	for i := 0; i < 50; i++ {
+		p.Receive(e, &Packet{Flow: 1, Len: 512})
+		e.RunUntil(e.Now().Add(sim.Millisecond))
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("RED dropped %d below MinTh", p.Dropped())
+	}
+}
+
+func TestREDIgnoresAcks(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewPort("p", 1e6, 0, &pktCapture{})
+	red := NewRED(7)
+	red.Wq = 0.9
+	p.Attach(e, red)
+	for i := 0; i < 500; i++ {
+		p.Receive(e, &Packet{Flow: 1, Ack: true})
+	}
+	if p.Dropped() != 0 {
+		t.Fatal("RED dropped ACKs")
+	}
+}
+
+func phantomPort(t *testing.T, mode PhantomMode) (*sim.Engine, *Port, *PhantomDiscipline, *pktCapture) {
+	t.Helper()
+	e := sim.NewEngine()
+	dst := &pktCapture{}
+	p := NewPort("p", 10e6, 0, dst) // 10 Mb/s
+	d := NewPhantomDiscipline(mode, core.Config{UtilizationFactor: 5, InitialMACR: 1e6})
+	p.Attach(e, d)
+	return e, p, d, dst
+}
+
+func TestPhantomSelectiveDiscard(t *testing.T) {
+	e, p, _, dst := phantomPort(t, SelectiveDiscard)
+	// Allowed rate = 5 MHz·1e6 = 5 Mb/s. CR above → drop; below → admit.
+	p.Receive(e, &Packet{Flow: 1, Len: 512, CurrentRate: 6e6})
+	p.Receive(e, &Packet{Flow: 2, Len: 512, CurrentRate: 4e6})
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	if p.Dropped() != 1 || len(dst.pkts) != 1 || dst.pkts[0].Flow != 2 {
+		t.Fatalf("discard wrong: dropped=%d delivered=%d", p.Dropped(), len(dst.pkts))
+	}
+}
+
+func TestPhantomSelectiveQuench(t *testing.T) {
+	e, p, _, dst := phantomPort(t, SelectiveQuench)
+	var quenched []int
+	p.OnQuench = func(_ *sim.Engine, flow int) { quenched = append(quenched, flow) }
+	p.Receive(e, &Packet{Flow: 1, Len: 512, CurrentRate: 6e6})
+	p.Receive(e, &Packet{Flow: 2, Len: 512, CurrentRate: 4e6})
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	// Quench admits the packet (it is not dropped).
+	if len(dst.pkts) != 2 || p.Dropped() != 0 {
+		t.Fatalf("quench should admit: %d delivered %d dropped", len(dst.pkts), p.Dropped())
+	}
+	if len(quenched) != 1 || quenched[0] != 1 {
+		t.Fatalf("quenched = %v, want [1]", quenched)
+	}
+}
+
+func TestPhantomECNMark(t *testing.T) {
+	e, p, _, dst := phantomPort(t, ECNMark)
+	p.Receive(e, &Packet{Flow: 1, Len: 512, CurrentRate: 6e6})
+	p.Receive(e, &Packet{Flow: 2, Len: 512, CurrentRate: 4e6})
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	if len(dst.pkts) != 2 {
+		t.Fatal("ECN mode must not drop")
+	}
+	if !dst.pkts[0].ECN || dst.pkts[1].ECN {
+		t.Fatalf("marks wrong: %v %v", dst.pkts[0].ECN, dst.pkts[1].ECN)
+	}
+}
+
+func TestPhantomSelectiveREDOnlyDropsExceeders(t *testing.T) {
+	e, p, d, _ := phantomPort(t, SelectiveRED)
+	d.RED.Wq = 0.9 // aggressive averaging: force the lottery on
+	compliantDrops, exceederDrops := 0, 0
+	p.OnDrop = func(_ sim.Time, pkt *Packet, _ string) {
+		if pkt.CurrentRate > 5e6 {
+			exceederDrops++
+		} else {
+			compliantDrops++
+		}
+	}
+	for i := 0; i < 300; i++ {
+		p.Receive(e, &Packet{Flow: 1, Len: 512, CurrentRate: 6e6})
+		p.Receive(e, &Packet{Flow: 2, Len: 512, CurrentRate: 1e5})
+	}
+	if compliantDrops != 0 {
+		t.Fatalf("Selective RED dropped %d compliant packets", compliantDrops)
+	}
+	if exceederDrops == 0 {
+		t.Fatal("Selective RED never dropped an exceeder under overload")
+	}
+}
+
+func TestPhantomDisciplineIgnoresAcks(t *testing.T) {
+	e, p, _, dst := phantomPort(t, SelectiveDiscard)
+	p.Receive(e, &Packet{Flow: 1, Ack: true, CurrentRate: 1e12})
+	e.RunUntil(sim.Time(sim.Millisecond))
+	if len(dst.pkts) != 1 {
+		t.Fatal("ACK was dropped")
+	}
+}
+
+func TestPhantomDisciplineMACRAdapts(t *testing.T) {
+	// Saturate a port and verify MACR collapses (residual → 0), then idle
+	// and verify it recovers — the same closed-loop logic as ATM but in
+	// bits.
+	e, p, d, _ := phantomPort(t, SelectiveDiscard)
+	stop := sim.Time(1500 * sim.Millisecond)
+	var feed func(en *sim.Engine)
+	feed = func(en *sim.Engine) {
+		if en.Now() < stop {
+			p.Receive(en, &Packet{Flow: 1, Len: 512, CurrentRate: 0}) // CR 0 never exceeds
+			en.After(441*sim.Microsecond/2, feed)                     // ≈2× line rate
+		}
+	}
+	feed(e)
+	e.RunUntil(stop)
+	// The loop-gain cap makes the final decay asymptotic; "collapsed"
+	// means well below the 1e6 starting point and the ≈1.9e6 equilibrium.
+	if d.Control().MACR() > 0.2e6 {
+		t.Fatalf("MACR under saturation = %v, want collapsed", d.Control().MACR())
+	}
+	// The 1.5 s of 2× overload left ≈1.5 s of backlog to drain first.
+	e.RunUntil(stop.Add(5000 * sim.Millisecond))
+	target := 10e6 * core.DefaultTargetUtilization
+	if d.Control().MACR() < target*0.9 {
+		t.Fatalf("MACR after idle = %v, want ≈%v", d.Control().MACR(), target)
+	}
+}
+
+func TestPhantomModeString(t *testing.T) {
+	want := map[PhantomMode]string{
+		SelectiveDiscard: "SelectiveDiscard",
+		SelectiveQuench:  "SelectiveQuench",
+		ECNMark:          "ECNMark",
+		SelectiveRED:     "SelectiveRED",
+		PhantomMode(42):  "?",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if got := NewPhantomDiscipline(SelectiveDiscard, core.Config{}).Name(); got != "Phantom-SelectiveDiscard" {
+		t.Fatalf("Name = %q", got)
+	}
+}

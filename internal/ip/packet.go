@@ -1,0 +1,58 @@
+// Package ip models the router-based (TCP/IP) world of Section 4 of the
+// paper: packets whose headers carry the source's current rate (CR) — the
+// paper's proposed TCP/IP header modification — and output ports governed
+// by a queue discipline. Besides the drop-tail and RED baselines, the
+// package implements the paper's four Phantom router mechanisms: Selective
+// Discard (Fig. 18), Selective Source Quench, ECN/EFCI-bit marking and
+// Selective RED.
+package ip
+
+import "repro/internal/sim"
+
+// HeaderBytes is the combined IP+TCP header size used for wire accounting.
+const HeaderBytes = 40
+
+// Packet is one IP datagram carrying either a TCP data segment or a pure
+// ACK. Packets are heap-allocated once at the sender and flow through the
+// network by pointer.
+type Packet struct {
+	// Flow identifies the TCP session.
+	Flow int
+	// Seq is the first payload byte's sequence number (data packets).
+	Seq int64
+	// Len is the payload length in bytes (0 for a pure ACK).
+	Len int
+	// Ack marks a pure ACK travelling receiver→sender.
+	Ack bool
+	// AckNo is the cumulative acknowledgment (next byte expected).
+	AckNo int64
+	// CurrentRate is the CR field the paper adds to the header: the
+	// source's measured rate in bits/s. Routers compare it against
+	// u·MACR.
+	CurrentRate float64
+	// ECN is the congestion bit (the paper's EFCI-on-IP-header variant).
+	// On data packets it is set by routers; receivers echo it on ACKs.
+	ECN bool
+	// Retransmit marks retransmitted segments (Karn's rule needs it and
+	// traces display it; routers do not read it).
+	Retransmit bool
+	// SentAt is the transmission time used for RTT sampling.
+	SentAt sim.Time
+}
+
+// SizeBytes is the wire size of the packet.
+func (p *Packet) SizeBytes() int { return p.Len + HeaderBytes }
+
+// SizeBits is the wire size in bits.
+func (p *Packet) SizeBits() float64 { return float64(p.SizeBytes()) * 8 }
+
+// Sink consumes packets.
+type Sink interface {
+	Receive(e *sim.Engine, p *Packet)
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(e *sim.Engine, p *Packet)
+
+// Receive implements Sink.
+func (f SinkFunc) Receive(e *sim.Engine, p *Packet) { f(e, p) }

@@ -1,0 +1,226 @@
+package ip
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Action is a discipline's verdict on an arriving packet.
+type Action struct {
+	// Drop discards the packet instead of enqueueing it.
+	Drop bool
+	// Quench asks the port to signal an ICMP Source Quench back to the
+	// packet's source (the port's OnQuench hook delivers it).
+	Quench bool
+}
+
+// Discipline decides the fate of packets arriving at a port: the queue
+// management policy. Implementations may also modify the packet (ECN
+// marking).
+type Discipline interface {
+	Name() string
+	// Attach binds the discipline to its port before any traffic flows.
+	Attach(e *sim.Engine, port *Port)
+	// Admit is consulted for every arriving packet.
+	Admit(now sim.Time, p *Packet) Action
+	// OnTransmit observes every packet the port finishes sending.
+	OnTransmit(now sim.Time, p *Packet)
+}
+
+// Port is a router output port: a rate-limited FIFO with a queue
+// discipline. The physical buffer bound MaxQueue (in packets) applies after
+// the discipline admits; 0 means unbounded.
+type Port struct {
+	Name     string
+	RateBPS  float64
+	Delay    sim.Duration
+	MaxQueue int
+	Dst      Sink
+	Disc     Discipline
+
+	// OnQuench delivers a source-quench signal for flow back to its
+	// source; the scenario wires it with the reverse-path delay.
+	OnQuench func(e *sim.Engine, flow int)
+	// OnQueue observes queue length changes (packets).
+	OnQueue func(now sim.Time, qlen int)
+	// OnDrop observes every dropped packet with the reason.
+	OnDrop func(now sim.Time, p *Packet, reason string)
+
+	// LossRate injects random packet loss in [0,1) for failure testing,
+	// deterministic per LossSeed. Zero disables injection.
+	LossRate float64
+	LossSeed uint64
+
+	lossRNG *workload.RNG
+	lost    int64
+
+	queue   []*Packet
+	head    int
+	busy    bool
+	dropped int64
+	sentPk  int64
+	sentBy  int64
+}
+
+// NewPort builds a port; disc may be nil for a pure FIFO.
+func NewPort(name string, rateBPS float64, delay sim.Duration, dst Sink) *Port {
+	if rateBPS <= 0 {
+		panic(fmt.Sprintf("ip: port %q with non-positive rate", name))
+	}
+	return &Port{Name: name, RateBPS: rateBPS, Delay: delay, Dst: dst}
+}
+
+// Attach binds the discipline and must be called once before traffic if a
+// discipline is used.
+func (p *Port) Attach(e *sim.Engine, d Discipline) {
+	p.Disc = d
+	if d != nil {
+		d.Attach(e, p)
+	}
+}
+
+// QueueLen returns the backlog in packets.
+func (p *Port) QueueLen() int { return len(p.queue) - p.head }
+
+// QueueBytes returns the backlog in bytes.
+func (p *Port) QueueBytes() int {
+	n := 0
+	for i := p.head; i < len(p.queue); i++ {
+		n += p.queue[i].SizeBytes()
+	}
+	return n
+}
+
+// Dropped returns the count of packets dropped (discipline + buffer).
+func (p *Port) Dropped() int64 { return p.dropped }
+
+// SentPackets returns the count of packets fully transmitted.
+func (p *Port) SentPackets() int64 { return p.sentPk }
+
+// SentBytes returns the bytes fully transmitted.
+func (p *Port) SentBytes() int64 { return p.sentBy }
+
+// Lost returns the number of packets destroyed by injected loss.
+func (p *Port) Lost() int64 { return p.lost }
+
+// Receive implements Sink.
+func (p *Port) Receive(e *sim.Engine, pkt *Packet) {
+	if p.LossRate > 0 {
+		if p.lossRNG == nil {
+			p.lossRNG = workload.NewRNG(p.LossSeed)
+		}
+		if p.lossRNG.Float64() < p.LossRate {
+			p.lost++
+			p.drop(e, pkt, "loss")
+			return
+		}
+	}
+	if p.Disc != nil {
+		act := p.Disc.Admit(e.Now(), pkt)
+		if act.Quench && p.OnQuench != nil {
+			p.OnQuench(e, pkt.Flow)
+		}
+		if act.Drop {
+			p.drop(e, pkt, p.Disc.Name())
+			return
+		}
+	}
+	if p.MaxQueue > 0 && p.QueueLen() >= p.MaxQueue {
+		p.drop(e, pkt, "tail")
+		return
+	}
+	p.queue = append(p.queue, pkt)
+	if p.OnQueue != nil {
+		p.OnQueue(e.Now(), p.QueueLen())
+	}
+	p.startTx(e)
+}
+
+func (p *Port) drop(e *sim.Engine, pkt *Packet, reason string) {
+	p.dropped++
+	if p.OnDrop != nil {
+		p.OnDrop(e.Now(), pkt, reason)
+	}
+}
+
+func (p *Port) pop() *Packet {
+	pkt := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head++
+	if p.head > 64 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		for i := n; i < len(p.queue); i++ {
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	return pkt
+}
+
+func (p *Port) startTx(e *sim.Engine) {
+	if p.busy || p.QueueLen() == 0 {
+		return
+	}
+	p.busy = true
+	next := p.queue[p.head]
+	e.After(sim.DurationOf(next.SizeBits(), p.RateBPS), func(en *sim.Engine) {
+		pkt := p.pop()
+		p.busy = false
+		p.sentPk++
+		p.sentBy += int64(pkt.SizeBytes())
+		if p.OnQueue != nil {
+			p.OnQueue(en.Now(), p.QueueLen())
+		}
+		if p.Disc != nil {
+			p.Disc.OnTransmit(en.Now(), pkt)
+		}
+		if p.Delay > 0 {
+			en.After(p.Delay, func(en2 *sim.Engine) { p.Dst.Receive(en2, pkt) })
+		} else {
+			p.Dst.Receive(en, pkt)
+		}
+		p.startTx(en)
+	})
+}
+
+// Router forwards packets by flow and direction: data packets use the
+// forward table, pure ACKs the reverse table. This mirrors the ATM switch
+// but for datagrams.
+type Router struct {
+	Name string
+	fwd  map[int]*Port
+	rev  map[int]*Port
+}
+
+// NewRouter returns an empty router.
+func NewRouter(name string) *Router {
+	return &Router{Name: name, fwd: map[int]*Port{}, rev: map[int]*Port{}}
+}
+
+// Route installs the per-flow ports; either may be nil to leave the
+// existing entry.
+func (r *Router) Route(flow int, fwd, rev *Port) {
+	if fwd != nil {
+		r.fwd[flow] = fwd
+	}
+	if rev != nil {
+		r.rev[flow] = rev
+	}
+}
+
+// Receive implements Sink.
+func (r *Router) Receive(e *sim.Engine, p *Packet) {
+	var port *Port
+	if p.Ack {
+		port = r.rev[p.Flow]
+	} else {
+		port = r.fwd[p.Flow]
+	}
+	if port == nil {
+		panic(fmt.Sprintf("ip: router %s has no route for flow %d (ack=%v)", r.Name, p.Flow, p.Ack))
+	}
+	port.Receive(e, p)
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import "repro/internal/sim"
+
+// ConvergenceTime returns the settling time of the series against target:
+// the earliest time in [from, until] after which the series stays inside the
+// band target·(1±tol) for the remainder of the observation window. To guard
+// against vacuous convergence at the very end of a run, the settled stretch
+// must be at least hold long. ok is false when the series never settles.
+// Convergence time is the headline speed metric of the Section 5 comparison
+// (Phantom vs EPRCA/APRC/CAPC).
+func ConvergenceTime(s *Series, from, until sim.Time, target, tol float64, hold sim.Duration) (sim.Time, bool) {
+	if target == 0 || until <= from {
+		return 0, false
+	}
+	lo := target * (1 - tol)
+	hi := target * (1 + tol)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	inside := func(v float64) bool { return v >= lo && v <= hi }
+
+	in := inside(s.At(from))
+	entered := from
+	for _, p := range s.Points() {
+		if p.T <= from {
+			continue
+		}
+		if p.T > until {
+			break
+		}
+		nowIn := inside(p.V)
+		if nowIn && !in {
+			entered = p.T
+		}
+		in = nowIn
+	}
+	if in && until-entered >= sim.Time(hold) {
+		return entered, true
+	}
+	return 0, false
+}
+
+// SettlingStats summarizes a series against a target over [from, to]:
+// mean absolute error relative to the target and the peak overshoot ratio.
+type SettlingStats struct {
+	MeanAbsErr float64 // time-averaged |v-target|/target
+	Overshoot  float64 // max(v)/target
+}
+
+// Settling computes SettlingStats for the series.
+func Settling(s *Series, from, to sim.Time, target float64) SettlingStats {
+	if target == 0 || to <= from {
+		return SettlingStats{}
+	}
+	var errSum float64
+	cur := s.At(from)
+	prev := from
+	peak := cur
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for _, p := range s.Points() {
+		if p.T <= from {
+			continue
+		}
+		if p.T > to {
+			break
+		}
+		errSum += abs(cur-target) * float64(p.T-prev)
+		if p.V > peak {
+			peak = p.V
+		}
+		cur = p.V
+		prev = p.T
+	}
+	errSum += abs(cur-target) * float64(to-prev)
+	return SettlingStats{
+		MeanAbsErr: errSum / float64(to-from) / target,
+		Overshoot:  peak / target,
+	}
+}

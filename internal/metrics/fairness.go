@@ -1,0 +1,66 @@
+package metrics
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) for the given
+// allocations. It is 1 when all allocations are equal and approaches 1/n as
+// one allocation dominates. Allocations that are all zero yield 1 (an empty
+// network is trivially fair); negative allocations are treated as zero.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// NormalizedJainIndex computes Jain's index of the ratios x_i / ideal_i,
+// the standard way to score fairness against a max-min oracle where the
+// ideal allocations differ per session. Sessions whose ideal is zero are
+// skipped. The slices must have equal length.
+func NormalizedJainIndex(xs, ideal []float64) float64 {
+	if len(xs) != len(ideal) {
+		panic("metrics: NormalizedJainIndex length mismatch")
+	}
+	ratios := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		if ideal[i] <= 0 {
+			continue
+		}
+		ratios = append(ratios, x/ideal[i])
+	}
+	return JainIndex(ratios)
+}
+
+// MinMaxRatio returns min(xs)/max(xs), a blunt fairness measure the paper's
+// figures make easy to eyeball: 1 means perfectly equal, near 0 means some
+// session is starved. All-zero input returns 1.
+func MinMaxRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min / max
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxMinProblem describes a fluid-level rate allocation problem: a set of
+// links with capacities and a set of sessions, each using a subset of the
+// links. MaxMinSolve computes the max-min fair allocation, the oracle every
+// fairness experiment is scored against (Section 1 of the paper defines
+// fairness exactly this way, citing [BG87]).
+type MaxMinProblem struct {
+	// Capacity[l] is the capacity of link l in any consistent rate unit.
+	Capacity []float64
+	// Sessions[s] lists the link indices session s traverses. A session
+	// with an empty path is unconstrained and gets +Inf.
+	Sessions [][]int
+}
+
+// MaxMinSolve returns the max-min fair rates, one per session, via the
+// classic progressive-filling (water-filling) algorithm: repeatedly find the
+// bottleneck link — the one whose equal share among its unfrozen sessions is
+// smallest — freeze those sessions at that share, remove the consumed
+// capacity, and repeat.
+func MaxMinSolve(p MaxMinProblem) ([]float64, error) {
+	for l, c := range p.Capacity {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("metrics: link %d has invalid capacity %v", l, c)
+		}
+	}
+	for s, path := range p.Sessions {
+		for _, l := range path {
+			if l < 0 || l >= len(p.Capacity) {
+				return nil, fmt.Errorf("metrics: session %d uses unknown link %d", s, l)
+			}
+		}
+	}
+
+	n := len(p.Sessions)
+	rates := make([]float64, n)
+	frozen := make([]bool, n)
+	remaining := append([]float64(nil), p.Capacity...)
+	// active[l] = number of unfrozen sessions crossing link l.
+	active := make([]int, len(p.Capacity))
+	for s, path := range p.Sessions {
+		if len(path) == 0 {
+			rates[s] = math.Inf(1)
+			frozen[s] = true
+			continue
+		}
+		for _, l := range path {
+			active[l]++
+		}
+	}
+
+	for {
+		// Find the tightest link among links with unfrozen sessions.
+		bottleneck := -1
+		share := math.Inf(1)
+		for l := range remaining {
+			if active[l] == 0 {
+				continue
+			}
+			s := remaining[l] / float64(active[l])
+			if s < share {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == -1 {
+			break // all sessions frozen
+		}
+		// Freeze every unfrozen session crossing the bottleneck.
+		for s, path := range p.Sessions {
+			if frozen[s] {
+				continue
+			}
+			uses := false
+			for _, l := range path {
+				if l == bottleneck {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			rates[s] = share
+			frozen[s] = true
+			for _, l := range path {
+				remaining[l] -= share
+				if remaining[l] < 0 {
+					remaining[l] = 0
+				}
+				active[l]--
+			}
+		}
+	}
+	return rates, nil
+}
+
+// PhantomEquilibrium returns the theoretical Phantom operating point for k
+// greedy sessions sharing one link of capacity c with utilization factor u:
+// MACR = c/(1+k·u) and per-session rate u·MACR. This is the closed form the
+// simulations are checked against (Table 1 / E08).
+func PhantomEquilibrium(c float64, k int, u float64) (macr, sessionRate float64) {
+	if k < 0 || u <= 0 || c <= 0 {
+		return 0, 0
+	}
+	macr = c / (1 + float64(k)*u)
+	return macr, u * macr
+}

@@ -1,0 +1,128 @@
+// Package metrics provides the measurement machinery for the experiments:
+// time series sampled from the simulator, Jain's fairness index, a max-min
+// fairness oracle (iterative water-filling), convergence-time detection and
+// queue statistics. Every figure in the paper is a plot of one or more of
+// these quantities.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series with non-decreasing timestamps.
+// It represents quantities like "queue length of port 2" or "ACR of
+// session 1" over a run.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample. Samples must arrive in non-decreasing time order;
+// a sample at the same instant as the previous one replaces it (the series
+// records the post-event value of the quantity).
+func (s *Series) Add(t sim.Time, v float64) {
+	if n := len(s.points); n > 0 {
+		last := s.points[n-1]
+		if t < last.T {
+			panic(fmt.Sprintf("metrics: series %q sample at %v before last %v", s.Name, t, last.T))
+		}
+		if t == last.T {
+			s.points[n-1].V = v
+			return
+		}
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the underlying samples. Callers must not mutate the slice.
+func (s *Series) Points() []Point { return s.points }
+
+// At returns the value in effect at time t using step (zero-order-hold)
+// interpolation: the most recent sample at or before t. Before the first
+// sample it returns 0.
+func (s *Series) At(t sim.Time) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].V
+}
+
+// Last returns the final sample value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	return s.points[len(s.points)-1].V
+}
+
+// Max returns the maximum sample value in [from, to], or 0 if no samples
+// fall in the window.
+func (s *Series) Max(from, to sim.Time) float64 {
+	max := math.Inf(-1)
+	any := false
+	for _, p := range s.points {
+		if p.T < from || p.T > to {
+			continue
+		}
+		any = true
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if !any {
+		return 0
+	}
+	return max
+}
+
+// TimeAvg returns the time-weighted average of the series over [from, to]
+// under step interpolation. It answers "what was the mean queue length",
+// where a long-lived value must weigh more than a momentary spike.
+func (s *Series) TimeAvg(from, to sim.Time) float64 {
+	if to <= from {
+		return s.At(from)
+	}
+	var sum float64
+	cur := s.At(from)
+	prev := from
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > from })
+	for ; i < len(s.points) && s.points[i].T <= to; i++ {
+		p := s.points[i]
+		sum += cur * float64(p.T-prev)
+		cur = p.V
+		prev = p.T
+	}
+	sum += cur * float64(to-prev)
+	return sum / float64(to-from)
+}
+
+// Resample returns n+1 evenly spaced step-interpolated values spanning
+// [from, to]. It is how figures are rendered at fixed horizontal resolution.
+func (s *Series) Resample(from, to sim.Time, n int) []Point {
+	if n < 1 || to < from {
+		return nil
+	}
+	out := make([]Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		t := from + sim.Time(int64(to-from)*int64(i)/int64(n))
+		out = append(out, Point{T: t, V: s.At(t)})
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SVG renders one or more series as a standalone SVG line chart — the
+// publication-grade counterpart of the ASCII charts, written by the CLIs'
+// -svg flag so the paper's figures can be regenerated as image files.
+type SVG struct {
+	Title  string
+	YLabel string
+	// Width and Height are the image dimensions in pixels
+	// (defaults 720×400).
+	Width  int
+	Height int
+	From   sim.Time
+	To     sim.Time
+	series []chartSeries
+}
+
+// svgPalette holds the stroke colours assigned to series in order.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// NewSVG creates an SVG chart spanning [from, to].
+func NewSVG(title, ylabel string, from, to sim.Time) *SVG {
+	return &SVG{Title: title, YLabel: ylabel, Width: 720, Height: 400, From: from, To: to}
+}
+
+// Add includes a series, returning the chart for chaining.
+func (c *SVG) Add(s *metrics.Series, label string) *SVG {
+	c.series = append(c.series, chartSeries{s: s, label: label})
+	return c
+}
+
+// Render produces the SVG document.
+func (c *SVG) Render() string {
+	w, h := c.Width, c.Height
+	if w < 200 {
+		w = 200
+	}
+	if h < 120 {
+		h = 120
+	}
+	const marginL, marginR, marginT, marginB = 64, 16, 36, 40
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	// Resample and find the y range.
+	const samples = 512
+	cols := make([][]metrics.Point, len(c.series))
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for i, cs := range c.series {
+		pts := cs.s.Resample(c.From, c.To, samples)
+		cols[i] = pts
+		for _, p := range pts {
+			if p.V < ymin {
+				ymin = p.V
+			}
+			if p.V > ymax {
+				ymax = p.V
+			}
+		}
+	}
+	if len(c.series) == 0 || c.To <= c.From || math.IsInf(ymin, 1) {
+		return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="10" y="20">%s (no data)</text></svg>`,
+			w, h, escape(c.Title))
+	}
+	if ymin > 0 && ymin < ymax/4 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	x := func(t sim.Time) float64 {
+		return float64(marginL) + plotW*float64(t-c.From)/float64(c.To-c.From)
+	}
+	y := func(v float64) float64 {
+		return float64(marginT) + plotH*(1-(v-ymin)/(ymax-ymin))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+
+	// Y grid: 5 ticks.
+	for i := 0; i <= 4; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, w-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, compact(v))
+	}
+	// X labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", marginL, h-marginB+24, c.From.String())
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", w-marginR, h-marginB+24, c.To.String())
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+
+	// Series polylines + legend.
+	for i, pts := range cols {
+		color := svgPalette[i%len(svgPalette)]
+		var path strings.Builder
+		for j, p := range pts {
+			sep := " "
+			if j == 0 {
+				sep = ""
+			}
+			fmt.Fprintf(&path, "%s%.1f,%.1f", sep, x(p.T), y(p.V))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			path.String(), color)
+		lx := marginL + 12 + i*140
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, marginT-8, lx+18, marginT-8, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+24, marginT-4, escape(c.series[i].label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape handles the XML special characters in labels.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// CSV renders one or more series resampled onto a common time grid as
+// comma-separated values with a header row, for external plotting tools.
+func CSV(from, to sim.Time, samples int, series []*metrics.Series, labels []string) string {
+	if samples < 1 || len(series) == 0 || len(series) != len(labels) {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("time_ms")
+	for _, l := range labels {
+		b.WriteByte(',')
+		b.WriteString(l)
+	}
+	b.WriteByte('\n')
+	cols := make([][]metrics.Point, len(series))
+	for i, s := range series {
+		cols[i] = s.Resample(from, to, samples)
+	}
+	for row := 0; row <= samples; row++ {
+		t := cols[0][row].T
+		fmt.Fprintf(&b, "%.3f", float64(t)/float64(sim.Millisecond))
+		for i := range cols {
+			fmt.Fprintf(&b, ",%g", cols[i][row].V)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,342 @@
+// Package scenario assembles complete experiment topologies — end systems,
+// access links, switches, trunks — and records the time series every figure
+// of the paper is drawn from. ATM scenarios are linear ("parking lot")
+// networks, which cover all of the paper's configurations: a single shared
+// link is the two-switch special case, and multi-bottleneck fairness (the
+// beat-down experiments) uses longer chains.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/atmnet"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ATMSessionSpec declares one ABR session over the linear network: it
+// enters at switch Entry and exits at switch Exit (Entry < Exit), so it
+// crosses trunks Entry..Exit−1.
+type ATMSessionSpec struct {
+	Name    string
+	Entry   int
+	Exit    int
+	Pattern workload.Pattern
+	// Params overrides the end-system parameters; nil means the paper's
+	// defaults.
+	Params *atm.SourceParams
+}
+
+// ATMConfig describes a linear ATM network of Switches switches chained by
+// Switches−1 trunks.
+type ATMConfig struct {
+	Switches int
+	// TrunkRateBPS is the trunk line rate in bits/s (default 150 Mb/s).
+	TrunkRateBPS float64
+	// TrunkRatesBPS optionally gives each trunk its own rate (length must
+	// be Switches−1), enabling heterogeneous-capacity configurations like
+	// the ATM Forum's generic fairness topologies. Entries of 0 fall back
+	// to TrunkRateBPS.
+	TrunkRatesBPS []float64
+	// TrunkDelay is the per-trunk propagation delay (default 5 µs, the
+	// paper's "negligible RTT" regime; WAN scenarios raise it).
+	TrunkDelay sim.Duration
+	// AccessRateBPS is the end-system access rate (default 150 Mb/s).
+	AccessRateBPS float64
+	// AccessDelay is the access-link propagation delay (default 1 µs).
+	AccessDelay sim.Duration
+	// Alg builds the rate-control algorithm instance for each forward
+	// output port; nil runs plain FIFO switches.
+	Alg switchalg.Factory
+	// SampleEvery is the series sampling period (default 1 ms).
+	SampleEvery sim.Duration
+	// TrunkLossRate injects random cell loss on every trunk (both
+	// directions, so data, forward RM and backward RM cells are all at
+	// risk) for failure testing. Zero disables injection.
+	TrunkLossRate float64
+	// Trace, if non-nil, records rate changes, drops and fair-share ticks.
+	Trace    *trace.Tracer
+	Sessions []ATMSessionSpec
+}
+
+func (c *ATMConfig) setDefaults() {
+	if c.TrunkRateBPS == 0 {
+		c.TrunkRateBPS = 150e6
+	}
+	if c.TrunkDelay == 0 {
+		c.TrunkDelay = 5 * sim.Microsecond
+	}
+	if c.AccessRateBPS == 0 {
+		c.AccessRateBPS = 150e6
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = sim.Microsecond
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = sim.Millisecond
+	}
+}
+
+// ATMNet is a built, runnable ATM scenario with its recorded series.
+type ATMNet struct {
+	Engine   *sim.Engine
+	Config   ATMConfig
+	Sources  []*atm.Source
+	Dests    []*atm.Dest
+	Switches []*atmnet.Switch
+
+	// ACR[i] is session i's allowed cell rate over time (cells/s).
+	ACR []*metrics.Series
+	// Goodput[i] is session i's delivered data rate (cells/s), sampled.
+	Goodput []*metrics.Series
+	// TrunkQueue[k] is trunk k's output-queue length (cells), sampled.
+	TrunkQueue []*metrics.Series
+	// FairShare[k] is trunk k's algorithm estimate (MACR for Phantom,
+	// EPRCA, APRC; ERS for CAPC), sampled. Nil entries mean no algorithm.
+	FairShare []*metrics.Series
+	// PeakTrunkQueue[k] is the exact maximum queue seen on trunk k.
+	PeakTrunkQueue []int
+
+	trunks        []*atmnet.Link
+	fairShareFns  []func() float64
+	lastDelivered []int64
+	lastSample    sim.Time
+}
+
+// fairShareGetter extracts the per-port fair-share estimate from a known
+// algorithm type, for the FairShare figures.
+func fairShareGetter(alg switchalg.Algorithm) func() float64 {
+	switch a := alg.(type) {
+	case *switchalg.Phantom:
+		return func() float64 { return a.Control().MACR() }
+	case *switchalg.EPRCA:
+		return a.MACR
+	case *switchalg.APRC:
+		return a.MACR
+	case *switchalg.CAPC:
+		return a.ERS
+	case *switchalg.ExactMaxMin:
+		return a.Share
+	case *switchalg.ERICA:
+		return a.FairShare
+	default:
+		return nil
+	}
+}
+
+// BuildATM wires the scenario. Sources are started; call Run to execute.
+func BuildATM(cfg ATMConfig) (*ATMNet, error) {
+	cfg.setDefaults()
+	if cfg.Switches < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 switches, got %d", cfg.Switches)
+	}
+	if len(cfg.Sessions) == 0 {
+		return nil, fmt.Errorf("scenario: no sessions")
+	}
+	for i, s := range cfg.Sessions {
+		if s.Entry < 0 || s.Exit >= cfg.Switches || s.Entry >= s.Exit {
+			return nil, fmt.Errorf("scenario: session %d has invalid path %d→%d", i, s.Entry, s.Exit)
+		}
+	}
+	if cfg.TrunkRatesBPS != nil && len(cfg.TrunkRatesBPS) != cfg.Switches-1 {
+		return nil, fmt.Errorf("scenario: TrunkRatesBPS has %d entries for %d trunks",
+			len(cfg.TrunkRatesBPS), cfg.Switches-1)
+	}
+
+	e := sim.NewEngine()
+	n := &ATMNet{Engine: e, Config: cfg}
+
+	// Switches.
+	for i := 0; i < cfg.Switches; i++ {
+		n.Switches = append(n.Switches, atmnet.NewSwitch(fmt.Sprintf("S%d", i)))
+	}
+
+	// Trunks: forward F_k: S_k→S_k+1 with the algorithm; reverse R_k:
+	// S_k+1→S_k plain (it carries only backward RM cells here).
+	fwdPorts := make([]*atmnet.Port, cfg.Switches-1)
+	revPorts := make([]*atmnet.Port, cfg.Switches-1)
+	for k := 0; k < cfg.Switches-1; k++ {
+		trunkCPS := atm.CPS(n.trunkRateBPS(k))
+		fl := atmnet.NewLink(fmt.Sprintf("F%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k+1])
+		rl := atmnet.NewLink(fmt.Sprintf("R%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k])
+		if cfg.TrunkLossRate > 0 {
+			fl.LossRate = cfg.TrunkLossRate
+			fl.LossSeed = uint64(2*k + 1)
+			rl.LossRate = cfg.TrunkLossRate
+			rl.LossSeed = uint64(2*k + 2)
+		}
+		var alg switchalg.Algorithm
+		if cfg.Alg != nil {
+			alg = cfg.Alg()
+		}
+		fwdPorts[k] = n.Switches[k].AddPort(e, fl, alg)
+		revPorts[k] = n.Switches[k+1].AddPort(e, rl, nil)
+		n.trunks = append(n.trunks, fl)
+		n.TrunkQueue = append(n.TrunkQueue, metrics.NewSeries(fmt.Sprintf("queue[%s]", fl.Name)))
+		n.PeakTrunkQueue = append(n.PeakTrunkQueue, 0)
+		k := k
+		fl.OnQueue = func(_ sim.Time, q int) {
+			if q > n.PeakTrunkQueue[k] {
+				n.PeakTrunkQueue[k] = q
+			}
+		}
+		if cfg.Trace != nil {
+			name := fl.Name
+			fl.OnDrop = func(now sim.Time, c atm.Cell) {
+				cfg.Trace.Emit(now, name, "drop", "VC=%d kind=%v", c.VC, c.Kind)
+			}
+		}
+		if alg != nil {
+			n.FairShare = append(n.FairShare, metrics.NewSeries(fmt.Sprintf("fairshare[%s]", fl.Name)))
+		} else {
+			n.FairShare = append(n.FairShare, nil)
+		}
+		n.fairShareFns = append(n.fairShareFns, fairShareGetter(alg))
+	}
+
+	// Sessions: source → access → S_entry … S_exit → access → dest, with
+	// the reverse path dest → S_exit … S_entry → source for backward RM.
+	accessCPS := atm.CPS(cfg.AccessRateBPS)
+	for i, spec := range cfg.Sessions {
+		vc := atm.VCID(i + 1)
+		params := atm.DefaultSourceParams()
+		if spec.Params != nil {
+			params = *spec.Params
+		}
+
+		// Egress: S_exit → dest (forward), dest → S_exit (reverse).
+		entrySw, exitSw := n.Switches[spec.Entry], n.Switches[spec.Exit]
+		toDest := atmnet.NewLink(fmt.Sprintf("out%d", i), accessCPS, cfg.AccessDelay, nil)
+		var egressAlg switchalg.Algorithm
+		if cfg.Alg != nil {
+			egressAlg = cfg.Alg()
+		}
+		egressPort := exitSw.AddPort(e, toDest, egressAlg)
+		fromDest := atmnet.NewLink(fmt.Sprintf("destrev%d", i), accessCPS, cfg.AccessDelay, exitSw)
+		dest := atm.NewDest(vc, fromDest)
+		toDest.Dst = dest
+
+		// Ingress: source → S_entry (forward), S_entry → source (reverse).
+		toEntry := atmnet.NewLink(fmt.Sprintf("in%d", i), accessCPS, cfg.AccessDelay, entrySw)
+		src := atm.NewSource(vc, params, spec.Pattern, toEntry)
+		toSource := atmnet.NewLink(fmt.Sprintf("srcrev%d", i), accessCPS, cfg.AccessDelay, src)
+		ingressRevPort := entrySw.AddPort(e, toSource, nil)
+
+		// Routes through every switch on the path.
+		for k := spec.Entry; k <= spec.Exit; k++ {
+			var fwd, bwd *atmnet.Port
+			if k < spec.Exit {
+				fwd = fwdPorts[k]
+			} else {
+				fwd = egressPort
+			}
+			if k > spec.Entry {
+				bwd = revPorts[k-1]
+			} else {
+				bwd = ingressRevPort
+			}
+			n.Switches[k].Route(vc, fwd, bwd)
+		}
+
+		acr := metrics.NewSeries(fmt.Sprintf("ACR[%s]", spec.Name))
+		if cfg.Trace != nil {
+			name := spec.Name
+			src.OnRateChange = func(now sim.Time, r float64) {
+				acr.Add(now, r)
+				cfg.Trace.Emit(now, name, "rate", "ACR=%.0f", r)
+			}
+		} else {
+			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
+		}
+		n.ACR = append(n.ACR, acr)
+		n.Goodput = append(n.Goodput, metrics.NewSeries(fmt.Sprintf("goodput[%s]", spec.Name)))
+		n.Sources = append(n.Sources, src)
+		n.Dests = append(n.Dests, dest)
+		n.lastDelivered = append(n.lastDelivered, 0)
+
+		if err := src.Start(e); err != nil {
+			return nil, fmt.Errorf("scenario: session %d: %w", i, err)
+		}
+	}
+
+	// Periodic sampler for goodput, queue and fair-share series.
+	e.Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(en.Now()) })
+	return n, nil
+}
+
+// sample records one point on every sampled series.
+func (n *ATMNet) sample(now sim.Time) {
+	dt := now.Sub(n.lastSample).Seconds()
+	n.lastSample = now
+	for i, d := range n.Dests {
+		cur := d.DataCells()
+		if dt > 0 {
+			n.Goodput[i].Add(now, float64(cur-n.lastDelivered[i])/dt)
+		}
+		n.lastDelivered[i] = cur
+	}
+	for k, l := range n.trunks {
+		n.TrunkQueue[k].Add(now, float64(l.QueueLen()))
+		if fn := n.fairShareFns[k]; fn != nil {
+			n.FairShare[k].Add(now, fn())
+		}
+	}
+}
+
+// Run executes the scenario for d of simulated time (cumulative across
+// calls).
+func (n *ATMNet) Run(d sim.Duration) {
+	n.Engine.RunUntil(n.Engine.Now().Add(d))
+}
+
+// trunkRateBPS returns trunk k's configured line rate.
+func (n *ATMNet) trunkRateBPS(k int) float64 {
+	if n.Config.TrunkRatesBPS != nil && n.Config.TrunkRatesBPS[k] > 0 {
+		return n.Config.TrunkRatesBPS[k]
+	}
+	return n.Config.TrunkRateBPS
+}
+
+// TrunkUtilization returns trunk k's lifetime utilization: cells sent
+// divided by the cells the line could have carried.
+func (n *ATMNet) TrunkUtilization(k int) float64 {
+	elapsed := n.Engine.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.trunks[k].Sent()) / (atm.CPS(n.trunkRateBPS(k)) * elapsed)
+}
+
+// MeanGoodputCPS returns session i's lifetime mean delivered rate in
+// cells/s.
+func (n *ATMNet) MeanGoodputCPS(i int) float64 {
+	elapsed := n.Engine.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.Dests[i].DataCells()) / elapsed
+}
+
+// MaxMinOracle returns the max-min fair rates (cells/s) for the scenario's
+// sessions over the trunk capacities, ignoring access links (they are
+// per-session and never the shared bottleneck in these configurations).
+func (n *ATMNet) MaxMinOracle() ([]float64, error) {
+	nTrunks := n.Config.Switches - 1
+	caps := make([]float64, nTrunks)
+	for k := range caps {
+		caps[k] = atm.CPS(n.trunkRateBPS(k))
+	}
+	var sessions [][]int
+	for _, s := range n.Config.Sessions {
+		var path []int
+		for k := s.Entry; k < s.Exit; k++ {
+			path = append(path, k)
+		}
+		sessions = append(sessions, path)
+	}
+	return metrics.MaxMinSolve(metrics.MaxMinProblem{Capacity: caps, Sessions: sessions})
+}

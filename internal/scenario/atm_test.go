@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/workload"
+)
+
+func twoGreedyConfig() ATMConfig {
+	return ATMConfig{
+		Switches: 2,
+		Alg:      switchalg.NewPhantom(core.Config{}),
+		Sessions: []ATMSessionSpec{
+			{Name: "s1", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
+			{Name: "s2", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
+		},
+	}
+}
+
+func TestBuildATMValidation(t *testing.T) {
+	if _, err := BuildATM(ATMConfig{Switches: 1}); err == nil {
+		t.Error("1 switch accepted")
+	}
+	if _, err := BuildATM(ATMConfig{Switches: 2}); err == nil {
+		t.Error("no sessions accepted")
+	}
+	bad := twoGreedyConfig()
+	bad.Sessions[0].Exit = 0 // Entry == Exit
+	if _, err := BuildATM(bad); err == nil {
+		t.Error("degenerate path accepted")
+	}
+	bad2 := twoGreedyConfig()
+	bad2.Sessions[0].Exit = 5 // beyond last switch
+	if _, err := BuildATM(bad2); err == nil {
+		t.Error("out-of-range exit accepted")
+	}
+}
+
+// The headline integration test: E01's configuration at reduced duration.
+// Two greedy sessions share one 150 Mb/s trunk under Phantom; both must
+// converge to u·C_t/(1+2u) and the queue must stay bounded.
+func TestTwoGreedySessionsConvergeToPhantomEquilibrium(t *testing.T) {
+	n, err := BuildATM(twoGreedyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(300 * sim.Millisecond)
+
+	target := atm.CPS(150e6) * core.DefaultTargetUtilization
+	wantMACR, wantRate := metrics.PhantomEquilibrium(target, 2, 5)
+
+	// MACR settles at C_t/(1+k·u).
+	macr := n.FairShare[0].Last()
+	if math.Abs(macr-wantMACR) > wantMACR*0.15 {
+		t.Errorf("MACR = %.0f, want ≈%.0f", macr, wantMACR)
+	}
+	// Both ACRs settle at u·MACR and are equal.
+	for i, s := range n.ACR {
+		got := s.Last()
+		if math.Abs(got-wantRate) > wantRate*0.15 {
+			t.Errorf("ACR[%d] = %.0f, want ≈%.0f", i, got, wantRate)
+		}
+	}
+	// Fairness between the two goodputs over the second half of the run.
+	g1 := n.Goodput[0].TimeAvg(sim.Time(150*sim.Millisecond), n.Engine.Now())
+	g2 := n.Goodput[1].TimeAvg(sim.Time(150*sim.Millisecond), n.Engine.Now())
+	if idx := metrics.JainIndex([]float64{g1, g2}); idx < 0.99 {
+		t.Errorf("fairness index = %v (g1=%.0f g2=%.0f)", idx, g1, g2)
+	}
+	// The queue spike is transient and bounded; it must drain.
+	if peak := n.PeakTrunkQueue[0]; peak > 20000 {
+		t.Errorf("peak queue = %d cells, absurd", peak)
+	}
+	if endQ := n.TrunkQueue[0].Last(); endQ > 500 {
+		t.Errorf("queue did not drain: %v cells at end", endQ)
+	}
+	// Utilization ≈ 0.95·k·u/(1+k·u) ≈ 86%.
+	if util := n.TrunkUtilization(0); util < 0.70 || util > 1.0 {
+		t.Errorf("trunk utilization = %v", util)
+	}
+}
+
+func TestATMScenarioDeterminism(t *testing.T) {
+	run := func() []float64 {
+		n, err := BuildATM(twoGreedyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(50 * sim.Millisecond)
+		return []float64{
+			n.ACR[0].Last(), n.ACR[1].Last(),
+			n.FairShare[0].Last(), n.TrunkQueue[0].Last(),
+			float64(n.Dests[0].DataCells()), float64(n.Dests[1].DataCells()),
+		}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at field %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestATMScenarioMaxMinOracle(t *testing.T) {
+	cfg := ATMConfig{
+		Switches: 4,
+		Alg:      switchalg.NewPhantom(core.Config{}),
+		Sessions: []ATMSessionSpec{
+			{Name: "long", Entry: 0, Exit: 3, Pattern: workload.Greedy{}},
+			{Name: "short0", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
+			{Name: "short1", Entry: 1, Exit: 2, Pattern: workload.Greedy{}},
+			{Name: "short2", Entry: 2, Exit: 3, Pattern: workload.Greedy{}},
+		},
+	}
+	n, err := BuildATM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := n.MaxMinOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := atm.CPS(150e6) / 2
+	for i, r := range rates {
+		if math.Abs(r-half) > 1 {
+			t.Fatalf("oracle rate[%d] = %v, want %v (parking lot splits 50/50)", i, r, half)
+		}
+	}
+}
+
+func TestATMScenarioRunIsCumulative(t *testing.T) {
+	n, err := BuildATM(twoGreedyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * sim.Millisecond)
+	if n.Engine.Now() != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("Now = %v", n.Engine.Now())
+	}
+	n.Run(10 * sim.Millisecond)
+	if n.Engine.Now() != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("Now = %v after second leg", n.Engine.Now())
+	}
+	if n.MeanGoodputCPS(0) <= 0 {
+		t.Fatal("no goodput recorded")
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback invoked when an event fires. It receives the engine
+// so it can schedule follow-up events without capturing it in a closure.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant: earlier-scheduled events fire first, which is what
+// makes runs deterministic.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	stopped bool
+	index   int // position in the heap, -1 when popped
+}
+
+// EventRef identifies a scheduled event so it can be cancelled. The zero
+// value is inert: cancelling it is a no-op.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the event (or, for a ticker from Every, all future ticks)
+// from firing. Cancelling twice, or cancelling a zero ref, is a harmless
+// no-op. It reports whether this call transitioned the event to cancelled.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.stopped {
+		return false
+	}
+	r.ev.stopped = true
+	return true
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic precisely because all state
+// transitions happen on one goroutine in event order.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far. Useful for cost
+// accounting in benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in an event-driven model, and silently clamping
+// would mask causality bugs.
+func (e *Engine) At(t Time, fn Handler) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventRef{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative delays panic via At.
+func (e *Engine) After(d Duration, fn Handler) EventRef {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn to run every period, starting one period from now, until
+// the returned ref is cancelled or the run ends. fn observes the engine clock
+// at each tick.
+func (e *Engine) Every(period Duration, fn Handler) EventRef {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	// The ticker reschedules itself through a stable cell so that Cancel on
+	// the original ref stops all future ticks, not just the next one.
+	cell := &event{stopped: false, index: -1}
+	var tick Handler
+	tick = func(en *Engine) {
+		if cell.stopped {
+			return
+		}
+		fn(en)
+		if cell.stopped {
+			return
+		}
+		en.After(period, tick)
+	}
+	e.After(period, tick)
+	return EventRef{ev: cell}
+}
+
+// Stop halts the run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil executes events in order until the calendar empties, Stop is
+// called, or the next event lies beyond deadline. The clock finishes exactly
+// at deadline if the run was cut short by it, so successive RunUntil calls
+// compose. It returns the number of events fired by this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn(e)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// Run executes every remaining event. Use RunUntil for open-ended sources
+// (periodic timers never drain the calendar).
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*event)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn(e)
+	}
+	return e.fired - start
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func(*Engine) { got = append(got, 3) })
+	e.At(10, func(*Engine) { got = append(got, 1) })
+	e.At(20, func(*Engine) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineSchedulingFromHandler(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.At(10, func(en *Engine) {
+		trace = append(trace, en.Now())
+		en.After(5, func(en *Engine) { trace = append(trace, en.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(5, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ref := e.At(10, func(*Engine) { fired = true })
+	if !ref.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if ref.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if (EventRef{}).Cancel() {
+		t.Error("zero-ref Cancel returned true")
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(*Engine) {})
+	e.At(100, func(*Engine) {})
+	n := e.RunUntil(50)
+	if n != 1 {
+		t.Fatalf("fired %d events, want 1", n)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+	n = e.RunUntil(100)
+	if n != 1 || e.Now() != 100 {
+		t.Fatalf("second leg fired=%d now=%v, want 1, 100", n, e.Now())
+	}
+}
+
+func TestRunUntilComposes(t *testing.T) {
+	// Running in two legs must observe exactly the same events as one leg.
+	build := func() (*Engine, *[]Time) {
+		e := NewEngine()
+		var trace []Time
+		for _, at := range []Time{5, 15, 25, 35} {
+			at := at
+			e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+		}
+		return e, &trace
+	}
+	e1, t1 := build()
+	e1.RunUntil(40)
+	e2, t2 := build()
+	e2.RunUntil(20)
+	e2.RunUntil(40)
+	if len(*t1) != len(*t2) {
+		t.Fatalf("split run saw %d events, single run saw %d", len(*t2), len(*t1))
+	}
+	for i := range *t1 {
+		if (*t1)[i] != (*t2)[i] {
+			t.Fatalf("split run diverged at %d: %v vs %v", i, *t1, *t2)
+		}
+	}
+}
+
+func TestEveryTicksAndCancels(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	ref := e.Every(10, func(en *Engine) { ticks = append(ticks, en.Now()) })
+	e.RunUntil(45)
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4: %v", len(ticks), ticks)
+	}
+	ref.Cancel()
+	e.RunUntil(100)
+	if len(ticks) != 4 {
+		t.Fatalf("ticker kept firing after Cancel: %v", ticks)
+	}
+}
+
+func TestEveryCancelFromWithinTick(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var ref EventRef
+	ref = e.Every(10, func(*Engine) {
+		count++
+		if count == 3 {
+			ref.Cancel()
+		}
+	})
+	e.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func(en *Engine) { fired++; en.Stop() })
+	e.At(20, func(*Engine) { fired++ })
+	e.RunUntil(100)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Stop should halt)", fired)
+	}
+	// A subsequent run resumes.
+	e.RunUntil(100)
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any batch of events with random times, execution order is
+// sorted by time with insertion order breaking ties.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			e.At(at, func(en *Engine) { got = append(got, rec{en.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving random RunUntil deadlines never changes the set of
+// fired events relative to a single full run.
+func TestRunUntilSplitProperty(t *testing.T) {
+	f := func(times []uint16, cutsRaw []uint16) bool {
+		run := func(cuts []Time) []Time {
+			e := NewEngine()
+			var trace []Time
+			for _, raw := range times {
+				at := Time(raw)
+				e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+			}
+			for _, c := range cuts {
+				e.RunUntil(c)
+			}
+			e.RunUntil(1 << 20)
+			return trace
+		}
+		var cuts []Time
+		for _, c := range cutsRaw {
+			cuts = append(cuts, Time(c))
+		}
+		// RunUntil requires non-decreasing deadlines to be meaningful; sort.
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		a, b := run(nil), run(cuts)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	// 53-byte cell at 150 Mb/s: 424 bits / 150e6 ≈ 2.8267 µs.
+	d := DurationOf(424, 150e6)
+	if d < 2820 || d > 2830 {
+		t.Fatalf("cell time = %v ns, want ≈2827", int64(d))
+	}
+	if DurationOf(100, 0) <= 0 {
+		t.Fatal("zero rate should yield a huge positive duration")
+	}
+	if DurationOf(-5, 100) != 0 {
+		t.Fatal("negative size should clamp to 0")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	var tm Time = Time(5 * Millisecond)
+	if tm.Seconds() != 0.005 {
+		t.Fatalf("Seconds() = %v", tm.Seconds())
+	}
+	if tm.Add(-Duration(10*Millisecond)) != 0 {
+		t.Fatal("Add should clamp below zero")
+	}
+	if tm.Sub(Time(2*Millisecond)) != 3*Millisecond {
+		t.Fatal("Sub wrong")
+	}
+	if tm.String() != "5.000ms" {
+		t.Fatalf("String() = %q", tm.String())
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var tick Handler
+		n := 0
+		tick = func(en *Engine) {
+			n++
+			if n < 1000 {
+				en.After(10, tick)
+			}
+		}
+		e.After(10, tick)
+		e.Run()
+	}
+}

@@ -1,0 +1,262 @@
+// Package simconfig parses the small topology description language used by
+// cmd/phantom-sim, turning a text file into a runnable ATM scenario. The
+// format is line-oriented; '#' starts a comment:
+//
+//	switches 4                 # linear network of 4 switches (3 trunks)
+//	trunkrate 150              # default trunk rate, Mb/s
+//	trunk 1 50                 # override trunk 1 to 50 Mb/s
+//	trunkdelay 5us             # propagation delay per trunk
+//	alg phantom u=5            # phantom | phantom-ci | eprca | aprc |
+//	                           # capc | exact | erica | none
+//	session long 0 3 greedy    # name, entry switch, exit switch, pattern
+//	session b1 0 1 onoff 50ms 50ms [start]
+//	session w1 1 3 window 100ms 400ms
+//	duration 500ms             # simulated time
+//
+// Patterns: greedy | onoff <on> <off> [start] | window <start> <stop>.
+package simconfig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/workload"
+)
+
+// Spec is a parsed simulation description.
+type Spec struct {
+	Config   scenario.ATMConfig
+	Duration sim.Duration
+	// AlgName records the chosen algorithm for display.
+	AlgName string
+}
+
+// Parse reads a topology description.
+func Parse(r io.Reader) (*Spec, error) {
+	spec := &Spec{Duration: 500 * sim.Millisecond, AlgName: "phantom"}
+	cfg := &spec.Config
+	cfg.Alg = switchalg.NewPhantom(core.Config{})
+	var trunkOverrides map[int]float64
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "switches":
+			n, err := atoiField(fields, 1)
+			if err != nil {
+				return nil, fail("switches <n>: %v", err)
+			}
+			cfg.Switches = n
+		case "trunkrate":
+			mbps, err := floatField(fields, 1)
+			if err != nil {
+				return nil, fail("trunkrate <Mb/s>: %v", err)
+			}
+			cfg.TrunkRateBPS = mbps * 1e6
+		case "trunk":
+			idx, err := atoiField(fields, 1)
+			if err != nil {
+				return nil, fail("trunk <index> <Mb/s>: %v", err)
+			}
+			mbps, err := floatField(fields, 2)
+			if err != nil {
+				return nil, fail("trunk <index> <Mb/s>: %v", err)
+			}
+			if trunkOverrides == nil {
+				trunkOverrides = map[int]float64{}
+			}
+			trunkOverrides[idx] = mbps * 1e6
+		case "trunkdelay":
+			d, err := durField(fields, 1)
+			if err != nil {
+				return nil, fail("trunkdelay <duration>: %v", err)
+			}
+			cfg.TrunkDelay = d
+		case "loss":
+			rate, err := floatField(fields, 1)
+			if err != nil || rate < 0 || rate >= 1 {
+				return nil, fail("loss <rate in [0,1)>")
+			}
+			cfg.TrunkLossRate = rate
+		case "alg":
+			if len(fields) < 2 {
+				return nil, fail("alg <name> [u=<factor>]")
+			}
+			factory, err := algFactory(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cfg.Alg = factory
+			spec.AlgName = fields[1]
+		case "session":
+			if len(fields) < 5 {
+				return nil, fail("session <name> <entry> <exit> <pattern...>")
+			}
+			entry, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fail("entry: %v", err)
+			}
+			exit, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fail("exit: %v", err)
+			}
+			pat, err := parsePattern(fields[4:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cfg.Sessions = append(cfg.Sessions, scenario.ATMSessionSpec{
+				Name: fields[1], Entry: entry, Exit: exit, Pattern: pat,
+			})
+		case "duration":
+			d, err := durField(fields, 1)
+			if err != nil {
+				return nil, fail("duration <duration>: %v", err)
+			}
+			spec.Duration = d
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Switches == 0 {
+		cfg.Switches = 2
+	}
+	if trunkOverrides != nil {
+		rates := make([]float64, cfg.Switches-1)
+		for k, v := range trunkOverrides {
+			if k < 0 || k >= len(rates) {
+				return nil, fmt.Errorf("trunk override %d out of range (have %d trunks)", k, len(rates))
+			}
+			rates[k] = v
+		}
+		cfg.TrunkRatesBPS = rates
+	}
+	if len(cfg.Sessions) == 0 {
+		return nil, fmt.Errorf("no sessions declared")
+	}
+	return spec, nil
+}
+
+// algFactory builds a switch algorithm from its name and optional u=<f>.
+func algFactory(fields []string) (switchalg.Factory, error) {
+	u := 0.0
+	for _, f := range fields[1:] {
+		if v, ok := strings.CutPrefix(f, "u="); ok {
+			parsed, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("u=: %v", err)
+			}
+			u = parsed
+		} else {
+			return nil, fmt.Errorf("unknown alg option %q", f)
+		}
+	}
+	switch fields[0] {
+	case "phantom":
+		return switchalg.NewPhantom(core.Config{UtilizationFactor: u}), nil
+	case "phantom-ci":
+		return switchalg.NewPhantomCI(core.Config{UtilizationFactor: u}), nil
+	case "eprca":
+		return switchalg.NewEPRCA(), nil
+	case "aprc":
+		return switchalg.NewAPRC(), nil
+	case "capc":
+		return switchalg.NewCAPC(), nil
+	case "exact":
+		return switchalg.NewExactMaxMin(), nil
+	case "erica":
+		return switchalg.NewERICA(), nil
+	case "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", fields[0])
+	}
+}
+
+// parsePattern builds a workload pattern from its textual form.
+func parsePattern(fields []string) (workload.Pattern, error) {
+	switch fields[0] {
+	case "greedy":
+		return workload.Greedy{}, nil
+	case "onoff":
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("onoff <on> <off> [start]")
+		}
+		on, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		var start sim.Time
+		if len(fields) > 3 {
+			s, err := time.ParseDuration(fields[3])
+			if err != nil {
+				return nil, err
+			}
+			start = sim.Time(s)
+		}
+		return workload.PeriodicOnOff{Start: start, On: on, Off: off}, nil
+	case "window":
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("window <start> <stop>")
+		}
+		start, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		stop, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		return workload.Window{Start: sim.Time(start), Stop: sim.Time(stop)}, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", fields[0])
+	}
+}
+
+func atoiField(fields []string, i int) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing argument")
+	}
+	return strconv.Atoi(fields[i])
+}
+
+func floatField(fields []string, i int) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing argument")
+	}
+	return strconv.ParseFloat(fields[i], 64)
+}
+
+func durField(fields []string, i int) (sim.Duration, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing argument")
+	}
+	return time.ParseDuration(fields[i])
+}

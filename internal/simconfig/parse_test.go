@@ -1,0 +1,151 @@
+package simconfig
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func parseOK(t *testing.T, text string) *Spec {
+	t.Helper()
+	spec, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return spec
+}
+
+func TestParseMinimal(t *testing.T) {
+	spec := parseOK(t, `
+session a 0 1 greedy
+`)
+	if spec.Config.Switches != 2 {
+		t.Fatalf("default switches = %d", spec.Config.Switches)
+	}
+	if len(spec.Config.Sessions) != 1 || spec.Config.Sessions[0].Name != "a" {
+		t.Fatalf("sessions = %+v", spec.Config.Sessions)
+	}
+	if _, ok := spec.Config.Sessions[0].Pattern.(workload.Greedy); !ok {
+		t.Fatal("pattern not greedy")
+	}
+	if spec.Duration != 500*sim.Millisecond {
+		t.Fatalf("default duration = %v", spec.Duration)
+	}
+	if spec.AlgName != "phantom" {
+		t.Fatalf("default alg = %q", spec.AlgName)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	spec := parseOK(t, `
+# GFC-style example
+switches 4
+trunkrate 150
+trunk 1 50           # narrow middle trunk
+trunkdelay 10us
+loss 0.01
+alg eprca
+session long 0 3 greedy
+session b 0 1 onoff 50ms 25ms 100ms
+session w 1 3 window 100ms 400ms
+duration 750ms
+`)
+	cfg := spec.Config
+	if cfg.Switches != 4 || cfg.TrunkRateBPS != 150e6 {
+		t.Fatalf("basics wrong: %+v", cfg)
+	}
+	if len(cfg.TrunkRatesBPS) != 3 || cfg.TrunkRatesBPS[1] != 50e6 || cfg.TrunkRatesBPS[0] != 0 {
+		t.Fatalf("trunk overrides = %v", cfg.TrunkRatesBPS)
+	}
+	if cfg.TrunkDelay != 10*sim.Microsecond {
+		t.Fatalf("delay = %v", cfg.TrunkDelay)
+	}
+	if cfg.TrunkLossRate != 0.01 {
+		t.Fatalf("loss = %v", cfg.TrunkLossRate)
+	}
+	if spec.AlgName != "eprca" {
+		t.Fatalf("alg = %q", spec.AlgName)
+	}
+	if spec.Duration != 750*sim.Millisecond {
+		t.Fatalf("duration = %v", spec.Duration)
+	}
+	oo, ok := cfg.Sessions[1].Pattern.(workload.PeriodicOnOff)
+	if !ok || oo.On != 50*sim.Millisecond || oo.Off != 25*sim.Millisecond || oo.Start != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("onoff = %+v", cfg.Sessions[1].Pattern)
+	}
+	w, ok := cfg.Sessions[2].Pattern.(workload.Window)
+	if !ok || w.Start != sim.Time(100*sim.Millisecond) || w.Stop != sim.Time(400*sim.Millisecond) {
+		t.Fatalf("window = %+v", cfg.Sessions[2].Pattern)
+	}
+}
+
+func TestParsedSpecActuallyRuns(t *testing.T) {
+	spec := parseOK(t, `
+switches 2
+alg phantom u=5
+session a 0 1 greedy
+session b 0 1 greedy
+duration 100ms
+`)
+	n, err := scenario.BuildATM(spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(spec.Duration)
+	if n.Dests[0].DataCells() == 0 {
+		t.Fatal("parsed scenario delivered nothing")
+	}
+}
+
+func TestParseAlgVariants(t *testing.T) {
+	for _, alg := range []string{"phantom", "phantom-ci", "eprca", "aprc", "capc", "exact", "erica"} {
+		spec := parseOK(t, "alg "+alg+"\nsession a 0 1 greedy\n")
+		if spec.Config.Alg == nil {
+			t.Errorf("%s: nil factory", alg)
+		}
+	}
+	spec := parseOK(t, "alg none\nsession a 0 1 greedy\n")
+	if spec.Config.Alg != nil {
+		t.Error("none: factory should be nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no sessions", "switches 3\n"},
+		{"bad directive", "frobnicate 7\nsession a 0 1 greedy\n"},
+		{"bad switches", "switches x\n"},
+		{"bad trunk index", "switches 2\ntrunk 5 100\nsession a 0 1 greedy\n"},
+		{"bad alg", "alg quantum\nsession a 0 1 greedy\n"},
+		{"bad alg option", "alg phantom q=3\nsession a 0 1 greedy\n"},
+		{"bad pattern", "session a 0 1 fractal\n"},
+		{"onoff missing args", "session a 0 1 onoff 5ms\n"},
+		{"window missing args", "session a 0 1 window 5ms\n"},
+		{"bad duration", "duration never\nsession a 0 1 greedy\n"},
+		{"bad loss", "loss 2\nsession a 0 1 greedy\n"},
+		{"session missing args", "session a 0\n"},
+		{"bad entry", "session a x 1 greedy\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	spec := parseOK(t, `
+# full-line comment
+
+session a 0 1 greedy   # trailing comment
+`)
+	if len(spec.Config.Sessions) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}

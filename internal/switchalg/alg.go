@@ -1,0 +1,66 @@
+// Package switchalg implements the per-output-port rate-control algorithms
+// compared in Section 5 of the paper: Phantom (the contribution) and the
+// three other constant-space proposals from the ATM Forum — EPRCA (Roberts),
+// APRC (Siu–Tzeng) and CAPC (Barnhart). All four keep O(1) state per port,
+// which is the "constant space" class of the paper's taxonomy; a test
+// enforces that none of them grows state with the number of VCs.
+package switchalg
+
+import (
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+// Port is the view an algorithm has of the output port it controls.
+type Port interface {
+	// QueueLen returns the current output-queue length in cells.
+	QueueLen() int
+	// Capacity returns the port's line rate in cells/s.
+	Capacity() float64
+}
+
+// Algorithm is a rate-control algorithm instance bound to one output port.
+// The switch invokes the hooks; an algorithm may modify RM cells in place
+// (writing ER and CI feedback) and may set the EFCI bit on data cells in
+// OnArrival.
+//
+// Hook call sites:
+//   - OnArrival: every cell about to be enqueued on the port (forward
+//     direction of the cell's route through this port).
+//   - OnTransmit: every cell the port finishes transmitting, regardless of
+//     direction — this is the port's true utilization, which is what
+//     Phantom meters.
+//   - OnForwardRM: a forward RM cell arriving at the port (subset of
+//     OnArrival calls, after OnArrival).
+//   - OnBackwardRM: a backward RM cell of a VC whose *forward* data flows
+//     through this port; the cell itself travels on the reverse port, but
+//     the feedback must come from the forward port's state.
+type Algorithm interface {
+	// Name identifies the algorithm in tables and figures.
+	Name() string
+	// Attach binds the algorithm to its port and lets it schedule periodic
+	// work on the engine. It is called exactly once, before any other hook.
+	Attach(e *sim.Engine, p Port)
+	OnArrival(now sim.Time, c *atm.Cell)
+	OnTransmit(now sim.Time, c *atm.Cell)
+	OnForwardRM(now sim.Time, c *atm.Cell)
+	OnBackwardRM(now sim.Time, c *atm.Cell)
+}
+
+// Factory creates one Algorithm instance per port. Experiments are
+// parameterized by a Factory so the same topology can run under any of the
+// four algorithms.
+type Factory func() Algorithm
+
+// None returns a nil-algorithm factory for ports that apply no rate
+// control (plain FIFO forwarding).
+func None() Algorithm { return nil }
+
+// minF returns the smaller of two float64s without pulling in math.Min's
+// NaN semantics on the hot path.
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package switchalg
+
+import (
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Phantom is the paper's algorithm bound to an ATM output port. It meters
+// every transmitted cell, updates MACR each measurement interval from the
+// residual bandwidth, and feeds the allowed rate u·MACR back to sources.
+//
+// Two feedback modes correspond to the paper's two ATM deployments:
+//
+//   - explicit rate (default): backward RM cells get ER := min(ER, u·MACR)
+//     (Figs. 3–9).
+//   - binary / CI (Fig. 11): instead of writing ER, the switch sets the CI
+//     bit on backward RM cells whose CCR exceeds u·MACR, so sources above
+//     their share back off multiplicatively while others keep increasing.
+type Phantom struct {
+	// Config is the core estimator configuration. Capacity is overwritten
+	// from the port at Attach time (in cells/s).
+	Config core.Config
+	// BinaryMode selects CI-bit feedback instead of explicit rate.
+	BinaryMode bool
+	// OnTick, if non-nil, observes each interval update (for MACR figures).
+	OnTick func(now sim.Time, residual, macr float64)
+
+	pc *core.PortControl
+}
+
+// NewPhantom returns a factory producing explicit-rate Phantom ports with
+// the given estimator config (Capacity is filled in per port).
+func NewPhantom(cfg core.Config) Factory {
+	return func() Algorithm { return &Phantom{Config: cfg} }
+}
+
+// NewPhantomCI returns a factory producing binary-mode (CI bit) Phantom
+// ports.
+func NewPhantomCI(cfg core.Config) Factory {
+	return func() Algorithm { return &Phantom{Config: cfg, BinaryMode: true} }
+}
+
+// Name implements Algorithm.
+func (p *Phantom) Name() string {
+	if p.BinaryMode {
+		return "Phantom-CI"
+	}
+	return "Phantom"
+}
+
+// Attach implements Algorithm.
+func (p *Phantom) Attach(e *sim.Engine, port Port) {
+	cfg := p.Config
+	cfg.Capacity = port.Capacity()
+	p.pc = core.MustPortControl(cfg, e.Now())
+	p.pc.Queue = func() float64 { return float64(port.QueueLen()) }
+	p.pc.OnTick = func(now sim.Time, residual, macr float64) {
+		if p.OnTick != nil {
+			p.OnTick(now, residual, macr)
+		}
+	}
+	p.pc.Attach(e)
+}
+
+// Control exposes the underlying port controller for figures and tests.
+func (p *Phantom) Control() *core.PortControl { return p.pc }
+
+// OnArrival implements Algorithm; Phantom takes no action on arrival.
+func (p *Phantom) OnArrival(sim.Time, *atm.Cell) {}
+
+// OnTransmit implements Algorithm: every transmitted cell is metered.
+func (p *Phantom) OnTransmit(sim.Time, *atm.Cell) { p.pc.Transmitted(1) }
+
+// OnForwardRM implements Algorithm; explicit-rate Phantom needs nothing
+// from forward RM cells — a deliberate contrast with EPRCA/APRC, which
+// must average the CCR field.
+func (p *Phantom) OnForwardRM(sim.Time, *atm.Cell) {}
+
+// OnBackwardRM implements Algorithm: write the feedback.
+func (p *Phantom) OnBackwardRM(_ sim.Time, c *atm.Cell) {
+	if p.BinaryMode {
+		// Two-level binary feedback: sessions above the allowed rate must
+		// decrease (CI); sessions inside the top of the band hold (NI),
+		// giving the sawtooth a flat top instead of an overshoot.
+		allowed := p.pc.AllowedRate()
+		switch {
+		case c.CCR > allowed:
+			c.CI = true
+		case c.CCR > 0.85*allowed:
+			c.NI = true
+		}
+		return
+	}
+	c.ER = p.pc.ClampER(c.ER)
+}

@@ -1,0 +1,95 @@
+package tcp
+
+import "repro/internal/sim"
+
+// Vegas support. The paper's Section 4 discusses both source-end
+// algorithms of the day — Reno [Jac88] and Vegas [BP95] — and points out
+// that Vegas does not self-balance: "when two sources that use Vegas get
+// different window sizes, and both have the same delay thresholds (α, β),
+// there is no mechanism that would balance them. The current mechanisms
+// would either increase both or decrease both." Experiment E19 reproduces
+// that claim and shows Selective Discard repairing it.
+//
+// The implementation follows Brakmo–Peterson: the sender tracks the
+// minimum RTT seen (baseRTT) and once per RTT compares the expected
+// throughput cwnd/baseRTT with the actual throughput cwnd/RTT. The
+// difference, expressed in segments queued in the network,
+//
+//	diff = cwnd · (RTT − baseRTT) / RTT / MSS
+//
+// is held between α and β by ±1 MSS/RTT adjustments; slow start doubles
+// only every other RTT and exits when diff exceeds γ. Loss recovery
+// (fast retransmit, RTO) is inherited from the Reno machinery in
+// sender.go.
+
+// VegasParams configures the Vegas congestion-avoidance mode on a Sender.
+type VegasParams struct {
+	// Alpha and Beta are the lower/upper thresholds in queued segments
+	// (Brakmo–Peterson defaults: 2 and 4).
+	Alpha float64
+	Beta  float64
+	// Gamma is the slow-start exit threshold (default 1).
+	Gamma float64
+}
+
+// DefaultVegasParams returns the published defaults.
+func DefaultVegasParams() VegasParams {
+	return VegasParams{Alpha: 2, Beta: 4, Gamma: 1}
+}
+
+// vegasState is the per-connection Vegas bookkeeping on a Sender.
+type vegasState struct {
+	params   VegasParams
+	baseRTT  float64 // ns; minimum RTT observed
+	lastRTT  float64 // ns; most recent sample
+	epochEnd int64   // next snd.una at which to run the per-RTT adjustment
+	ssToggle bool    // slow start doubles every other RTT
+	inSS     bool
+}
+
+// vegasOnRTTSample records a sample for the Vegas estimator.
+func (s *Sender) vegasOnRTTSample(m sim.Duration) {
+	v := s.vegas
+	mf := float64(m)
+	if v.baseRTT == 0 || mf < v.baseRTT {
+		v.baseRTT = mf
+	}
+	v.lastRTT = mf
+}
+
+// vegasOnNewAck runs the once-per-RTT window adjustment. It replaces the
+// Reno growth path when Vegas mode is on; loss events still go through the
+// shared Reno fast-retransmit/RTO code, which Vegas also uses.
+func (s *Sender) vegasOnNewAck(ackNo int64) {
+	v := s.vegas
+	mss := float64(s.Params.MSS)
+	if ackNo < v.epochEnd || v.lastRTT == 0 || v.baseRTT == 0 {
+		return // mid-RTT: adjust only once per round trip
+	}
+	v.epochEnd = s.sndNxt
+
+	diff := s.cwnd * (v.lastRTT - v.baseRTT) / v.lastRTT / mss
+	switch {
+	case v.inSS:
+		if diff > v.params.Gamma {
+			// Leaving slow start: step back one eighth and enter
+			// congestion avoidance.
+			s.cwnd -= s.cwnd / 8
+			s.ssthresh = s.cwnd
+			v.inSS = false
+		} else if v.ssToggle {
+			s.cwnd += s.cwnd // double every other RTT
+		}
+		v.ssToggle = !v.ssToggle
+	case diff < v.params.Alpha:
+		s.cwnd += mss
+	case diff > v.params.Beta:
+		s.cwnd -= mss
+	}
+	if s.cwnd < 2*mss {
+		s.cwnd = 2 * mss
+	}
+	if rw := float64(s.Params.RcvWnd); s.cwnd > rw {
+		s.cwnd = rw
+	}
+}

@@ -1,0 +1,113 @@
+// Package trace provides a lightweight bounded event tracer for the
+// simulator. Components emit structured events (who, what, when); the
+// tracer keeps the most recent N in a ring so that a multi-million-event
+// run can still answer "what happened around the drop at 218 ms" without
+// unbounded memory. A nil *Tracer is valid and free: every method on it is
+// a no-op, so hot paths can emit unconditionally.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	T         sim.Time
+	Component string
+	Kind      string
+	Detail    string
+}
+
+// String formats the event as a log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-12s %-12s %s", e.T, e.Component, e.Kind, e.Detail)
+}
+
+// Tracer records events into a fixed-size ring.
+type Tracer struct {
+	ring []Event
+	next int
+	full bool
+	seen int64
+}
+
+// New returns a tracer holding the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit records an event. Detail is formatted lazily only in the sense that
+// callers should pass cheap values; guard expensive formatting with a nil
+// check where it matters.
+func (tr *Tracer) Emit(t sim.Time, component, kind, format string, args ...any) {
+	if tr == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	tr.ring[tr.next] = Event{T: t, Component: component, Kind: kind, Detail: detail}
+	tr.next++
+	tr.seen++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+}
+
+// Seen returns the total number of events emitted (including evicted ones).
+func (tr *Tracer) Seen() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.seen
+}
+
+// Events returns the retained events in chronological order.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	if !tr.full {
+		out := make([]Event, tr.next)
+		copy(out, tr.ring[:tr.next])
+		return out
+	}
+	out := make([]Event, 0, len(tr.ring))
+	out = append(out, tr.ring[tr.next:]...)
+	out = append(out, tr.ring[:tr.next]...)
+	return out
+}
+
+// Filter returns retained events whose component or kind contains q.
+func (tr *Tracer) Filter(q string) []Event {
+	var out []Event
+	for _, e := range tr.Events() {
+		if strings.Contains(e.Component, q) || strings.Contains(e.Kind, q) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the retained events as log lines. It implements a subset
+// of io.WriterTo semantics (byte count is returned).
+func (tr *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range tr.Events() {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, "x", "y", "z")
+	if tr.Events() != nil || tr.Seen() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(8)
+	tr.Emit(10, "src1", "rate", "acr=%d", 42)
+	tr.Emit(20, "trunk0", "drop", "plain detail")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Detail != "acr=42" {
+		t.Fatalf("formatting wrong: %q", evs[0].Detail)
+	}
+	if evs[1].Detail != "plain detail" {
+		t.Fatalf("no-arg detail wrong: %q", evs[1].Detail)
+	}
+	if tr.Seen() != 2 {
+		t.Fatalf("seen = %d", tr.Seen())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.Time(i), "c", "k", "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Chronological, last four.
+	for i, e := range evs {
+		if e.T != sim.Time(6+i) {
+			t.Fatalf("evs[%d].T = %v, want %d", i, e.T, 6+i)
+		}
+	}
+	if tr.Seen() != 10 {
+		t.Fatalf("seen = %d", tr.Seen())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(8)
+	tr.Emit(1, "src1", "rate", "a")
+	tr.Emit(2, "trunk0", "drop", "b")
+	tr.Emit(3, "src2", "rate", "c")
+	if got := len(tr.Filter("rate")); got != 2 {
+		t.Fatalf("Filter(rate) = %d", got)
+	}
+	if got := len(tr.Filter("trunk")); got != 1 {
+		t.Fatalf("Filter(trunk) = %d", got)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	tr := New(8)
+	tr.Emit(sim.Time(5*sim.Millisecond), "src1", "rate", "acr=7")
+	var b strings.Builder
+	n, err := tr.WriteTo(&b)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteTo: %d, %v", n, err)
+	}
+	if !strings.Contains(b.String(), "acr=7") || !strings.Contains(b.String(), "5.000ms") {
+		t.Fatalf("output = %q", b.String())
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 2000; i++ {
+		tr.Emit(sim.Time(i), "c", "k", "")
+	}
+	if len(tr.Events()) != 1024 {
+		t.Fatalf("default capacity = %d", len(tr.Events()))
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import "repro/internal/sim"
+
+// Pattern describes when a traffic source is willing to transmit. Sources
+// poll ActiveAt when they have an opportunity to send, and use NextChange to
+// schedule a wake-up at the next activity transition.
+//
+// Implementations must be deterministic functions of the construction
+// parameters: the engine replays a pattern by time alone, so a pattern must
+// answer consistently no matter how often it is queried.
+type Pattern interface {
+	// ActiveAt reports whether the source is in an "on" period at t.
+	ActiveAt(t sim.Time) bool
+	// NextChange returns the first time strictly after t at which the
+	// pattern's activity flips. ok is false when the pattern never changes
+	// again after t.
+	NextChange(t sim.Time) (next sim.Time, ok bool)
+}
+
+// Greedy is an always-on source: the workhorse of Figs. 3, 9 and the
+// Section 5 comparisons.
+type Greedy struct{}
+
+// ActiveAt implements Pattern: a greedy source is always active.
+func (Greedy) ActiveAt(sim.Time) bool { return true }
+
+// NextChange implements Pattern: a greedy source never changes.
+func (Greedy) NextChange(sim.Time) (sim.Time, bool) { return 0, false }
+
+// Window is active on [Start, Stop). Stop <= Start means "active from Start
+// forever". Windows express staggered joins and leaves (Fig. 5).
+type Window struct {
+	Start sim.Time
+	Stop  sim.Time // zero or <= Start: no stop
+}
+
+// ActiveAt implements Pattern.
+func (w Window) ActiveAt(t sim.Time) bool {
+	if t < w.Start {
+		return false
+	}
+	return w.Stop <= w.Start || t < w.Stop
+}
+
+// NextChange implements Pattern.
+func (w Window) NextChange(t sim.Time) (sim.Time, bool) {
+	if t < w.Start {
+		return w.Start, true
+	}
+	if w.Stop > w.Start && t < w.Stop {
+		return w.Stop, true
+	}
+	return 0, false
+}
+
+// PeriodicOnOff alternates On and Off phases starting (in the On state) at
+// Start. It reproduces the deterministic bursty sessions of Fig. 4.
+type PeriodicOnOff struct {
+	Start sim.Time
+	On    sim.Duration
+	Off   sim.Duration
+}
+
+func (p PeriodicOnOff) period() sim.Duration { return p.On + p.Off }
+
+// ActiveAt implements Pattern.
+func (p PeriodicOnOff) ActiveAt(t sim.Time) bool {
+	if t < p.Start || p.On <= 0 {
+		return false
+	}
+	if p.Off <= 0 {
+		return true
+	}
+	phase := sim.Duration(t-p.Start) % p.period()
+	return phase < p.On
+}
+
+// NextChange implements Pattern.
+func (p PeriodicOnOff) NextChange(t sim.Time) (sim.Time, bool) {
+	if p.On <= 0 {
+		return 0, false
+	}
+	if t < p.Start {
+		return p.Start, true
+	}
+	if p.Off <= 0 {
+		return 0, false
+	}
+	phase := sim.Duration(t-p.Start) % p.period()
+	if phase < p.On {
+		return t.Add(p.On - phase), true
+	}
+	return t.Add(p.period() - phase), true
+}
+
+// RandomOnOff alternates exponentially distributed On and Off phases. The
+// schedule is pre-generated from the seed at construction time so that
+// ActiveAt/NextChange are pure functions of t, as Pattern requires.
+type RandomOnOff struct {
+	transitions []sim.Time // alternating on-start, off-start, on-start, ...
+}
+
+// NewRandomOnOff builds a random on/off pattern with exponential phase
+// lengths of the given means, starting On at time start, covering at least
+// horizon of simulated time.
+func NewRandomOnOff(seed uint64, start sim.Time, meanOn, meanOff sim.Duration, horizon sim.Time) *RandomOnOff {
+	if meanOn <= 0 || meanOff <= 0 {
+		panic("workload: non-positive on/off mean")
+	}
+	rng := NewRNG(seed)
+	p := &RandomOnOff{}
+	t := start
+	on := true
+	p.transitions = append(p.transitions, t)
+	for t <= horizon {
+		var mean sim.Duration
+		if on {
+			mean = meanOn
+		} else {
+			mean = meanOff
+		}
+		d := sim.Duration(rng.Exp(float64(mean)))
+		if d < sim.Microsecond {
+			d = sim.Microsecond
+		}
+		t = t.Add(d)
+		p.transitions = append(p.transitions, t)
+		on = !on
+	}
+	return p
+}
+
+// ActiveAt implements Pattern. Before the first transition the source is
+// off; after the last pre-generated transition the state freezes.
+func (p *RandomOnOff) ActiveAt(t sim.Time) bool {
+	// Find the number of transitions at or before t; odd count = On
+	// (transitions alternate on-start, off-start, ...).
+	lo, hi := 0, len(p.transitions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.transitions[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo%2 == 1
+}
+
+// NextChange implements Pattern.
+func (p *RandomOnOff) NextChange(t sim.Time) (sim.Time, bool) {
+	lo, hi := 0, len(p.transitions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.transitions[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(p.transitions) {
+		return 0, false
+	}
+	return p.transitions[lo], true
+}
