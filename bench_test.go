@@ -6,44 +6,17 @@
 package repro
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/exp"
-	"repro/internal/sim"
+	"repro/internal/runner"
 )
 
-// benchDurations keeps iterations affordable while preserving every shape:
-// ATM experiments converge within ≈100 ms of simulated time, TCP ones need
-// a few seconds of AIMD sawtooth.
-var benchDurations = map[string]sim.Duration{
-	"E01": 200 * sim.Millisecond,
-	"E02": 400 * sim.Millisecond,
-	"E03": 500 * sim.Millisecond,
-	"E04": 400 * sim.Millisecond,
-	"E05": 400 * sim.Millisecond,
-	"E06": 200 * sim.Millisecond,
-	"E07": 400 * sim.Millisecond,
-	"E08": 300 * sim.Millisecond,
-	"E09": 5 * sim.Second,
-	"E10": 5 * sim.Second,
-	"E11": 4 * sim.Second,
-	"E12": 5 * sim.Second,
-	"E13": 5 * sim.Second,
-	"E14": 400 * sim.Millisecond,
-	"E15": 400 * sim.Millisecond,
-	"E16": 400 * sim.Millisecond,
-	"E17": 400 * sim.Millisecond,
-	"E18": 500 * sim.Millisecond,
-	"E19": 10 * sim.Second,
-	"E20": 6 * sim.Second,
-	"E21": 600 * sim.Millisecond,
-	"E22": 400 * sim.Millisecond,
-	"A01": 400 * sim.Millisecond,
-	"A02": 300 * sim.Millisecond,
-	"A03": 300 * sim.Millisecond,
-	"A04": 300 * sim.Millisecond,
-	"A05": 500 * sim.Millisecond,
-}
+// The reduced per-experiment durations live in runner.QuickDuration — one
+// profile shared by these benchmarks, the golden baselines, and
+// phantom-suite -quick, so "what the benchmarks measure" and "what the
+// regression net pins" are the same runs by construction.
 
 // reported selects which summary metrics each experiment surfaces in the
 // benchmark output (all metrics remain available via the CLIs).
@@ -84,7 +57,7 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
-	d := benchDurations[id]
+	d := runner.QuickDuration(id)
 	b.ReportAllocs()
 	var last *exp.Result
 	for i := 0; i < b.N; i++ {
@@ -195,3 +168,55 @@ func BenchmarkModelVsSimulation(b *testing.B) { benchExperiment(b, "A04") }
 // BenchmarkAblationGainNormalization shows the k=32 limit cycle without the
 // loop-gain cap (A05).
 func BenchmarkAblationGainNormalization(b *testing.B) { benchExperiment(b, "A05") }
+
+// --- The whole suite as a fleet ---
+
+// eSeriesJobs builds one quick-duration job per E-series experiment.
+func eSeriesJobs(b *testing.B) []runner.Job {
+	b.Helper()
+	var jobs []runner.Job
+	exp.Walk(func(d exp.Definition) bool {
+		if strings.HasPrefix(d.ID, "E") {
+			jobs = append(jobs, runner.Job{Def: d, Opts: exp.Options{
+				Quiet: true, Duration: runner.QuickDuration(d.ID)}})
+		}
+		return true
+	})
+	if len(jobs) == 0 {
+		b.Fatal("no E-series experiments registered")
+	}
+	return jobs
+}
+
+// benchSuite runs the full E-series through the fleet at the given worker
+// count and reports the work-time/wall-time ratio and the
+// simulated-seconds-per-wall-second throughput. The true wall-clock speedup
+// is the ratio of the two benchmarks' time/op — on a multi-core machine the
+// j=4 case finishes the same jobs in a fraction of the sequential wall time,
+// while on a single core both take the same time (the work/wall metric then
+// merely reflects time-slicing, not a win).
+func benchSuite(b *testing.B, workers int) {
+	jobs := eSeriesJobs(b)
+	fleet := &runner.Fleet{Workers: workers}
+	b.ReportAllocs()
+	var last runner.Stats
+	for i := 0; i < b.N; i++ {
+		results, stats := fleet.Run(jobs)
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Job.Label(), r.Err)
+			}
+		}
+		last = stats
+	}
+	b.ReportMetric(last.Speedup(), "speedup")
+	b.ReportMetric(last.SimPerWallSecond(), "sim_s/wall_s")
+}
+
+// BenchmarkSuiteSequential is the baseline: the whole E-series on one
+// worker, i.e. what the pre-fleet harness did.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel4 is the fleet at -j 4. Compare its time/op against
+// BenchmarkSuiteSequential for the wall-clock speedup on your hardware.
+func BenchmarkSuiteParallel4(b *testing.B) { benchSuite(b, 4) }

@@ -1,10 +1,12 @@
 // Command phantom-compare prints the Section 5 head-to-head comparison of
 // the four constant-space rate-control algorithms (Phantom, EPRCA, APRC,
-// CAPC) and the CAPC-vs-Phantom detail of Fig. 22.
+// CAPC) and the CAPC-vs-Phantom detail of Fig. 22. Both experiments run
+// concurrently on the fleet runner; output order stays fixed because the
+// fleet returns results in job order regardless of completion order.
 //
 // Usage:
 //
-//	phantom-compare [-duration 600ms]
+//	phantom-compare [-duration 600ms] [-j N]
 package main
 
 import (
@@ -13,31 +15,40 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func main() {
 	duration := flag.Duration("duration", 0, "override simulated duration")
+	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	jobs := make([]runner.Job, 0, 2)
 	for _, id := range []string{"E17", "E16"} {
 		def, ok := exp.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "phantom-compare: %s not registered\n", id)
 			os.Exit(1)
 		}
+		jobs = append(jobs, runner.Job{Def: def, Opts: exp.Options{Duration: *duration}})
+	}
+
+	fleet := &runner.Fleet{Workers: *workers}
+	results, _ := fleet.Run(jobs)
+	for _, r := range results {
+		def := r.Job.Def
 		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
-		res, err := def.Run(exp.Options{Duration: *duration})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phantom-compare:", err)
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-compare:", r.Err)
 			os.Exit(1)
 		}
-		for _, t := range res.Tables {
+		for _, t := range r.Res.Tables {
 			fmt.Println(t)
 		}
-		for _, f := range res.Figures {
+		for _, f := range r.Res.Figures {
 			fmt.Println(f)
 		}
-		for _, n := range res.Notes {
+		for _, n := range r.Res.Notes {
 			fmt.Printf("  • %s\n", n)
 		}
 		fmt.Println()

@@ -1,0 +1,232 @@
+// Command phantom-suite runs the whole reproduction suite (E01–E22 and the
+// A-series ablations) as a parallel fleet — one simulation engine per worker
+// goroutine — and checks every experiment's summary metrics against the
+// golden baselines in testdata/golden/.
+//
+// Usage:
+//
+//	phantom-suite [flags]
+//
+//	-filter regex   run only experiments whose ID matches (e.g. 'E0[1-5]')
+//	-j N            worker count (default GOMAXPROCS)
+//	-duration d     override every experiment's simulated duration
+//	-quick          use the reduced-duration profile (the golden baseline
+//	                profile; also what the benchmarks use)
+//	-golden dir     golden directory (default testdata/golden)
+//	-update-golden  rewrite the golden baselines from this run
+//	-json           machine-readable output
+//	-list           list matching experiments and exit
+//	-v              print each experiment's notes
+//
+// The suite exits non-zero when any experiment fails or any metric drifts
+// beyond its tolerance from the golden baseline. Baselines are recorded at a
+// specific simulated duration; runs at other durations skip the comparison
+// rather than reporting false drift.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+type suiteConfig struct {
+	filter       *regexp.Regexp
+	workers      int
+	duration     sim.Duration
+	quick        bool
+	goldenDir    string
+	updateGolden bool
+	jsonOut      bool
+	list         bool
+	verbose      bool
+}
+
+func main() {
+	var (
+		filter       = flag.String("filter", "", "regexp of experiment IDs to run (empty = all)")
+		workers      = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+		duration     = flag.Duration("duration", 0, "override simulated duration for every experiment")
+		quick        = flag.Bool("quick", false, "use the reduced-duration golden profile")
+		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
+		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON")
+		list         = flag.Bool("list", false, "list matching experiments and exit")
+		verbose      = flag.Bool("v", false, "print experiment notes")
+	)
+	flag.Parse()
+
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-suite: bad -filter:", err)
+		os.Exit(2)
+	}
+	cfg := suiteConfig{
+		filter: re, workers: *workers, duration: *duration, quick: *quick,
+		goldenDir: *goldenDir, updateGolden: *updateGolden,
+		jsonOut: *jsonOut, list: *list, verbose: *verbose,
+	}
+	os.Exit(run(cfg))
+}
+
+func run(cfg suiteConfig) int {
+	var defs []exp.Definition
+	exp.Walk(func(d exp.Definition) bool {
+		if cfg.filter.MatchString(d.ID) {
+			defs = append(defs, d)
+		}
+		return true
+	})
+	if len(defs) == 0 {
+		fmt.Fprintln(os.Stderr, "phantom-suite: no experiments match the filter")
+		return 2
+	}
+	if cfg.list {
+		for _, d := range defs {
+			fmt.Printf("%s  %-18s  %s\n", d.ID, d.PaperRef, d.Title)
+		}
+		return 0
+	}
+
+	jobs := make([]runner.Job, len(defs))
+	for i, d := range defs {
+		o := exp.Options{Quiet: true, Duration: cfg.duration}
+		if cfg.quick && o.Duration == 0 {
+			o.Duration = runner.QuickDuration(d.ID)
+		}
+		jobs[i] = runner.Job{Def: d, Opts: o}
+	}
+
+	var progress sync.Mutex
+	hook := func(id string, phase exp.Phase, err error) {
+		if cfg.jsonOut {
+			return
+		}
+		progress.Lock()
+		defer progress.Unlock()
+		switch phase {
+		case exp.PhaseFailed:
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", id, err)
+		}
+	}
+	fleet := &runner.Fleet{Workers: cfg.workers, Hook: hook}
+	results, stats := fleet.Run(jobs)
+
+	exitCode := 0
+	type report struct {
+		ID      string             `json:"id"`
+		WallMS  float64            `json:"wall_ms"`
+		SimNS   int64              `json:"sim_nanos"`
+		Error   string             `json:"error,omitempty"`
+		Drifts  []string           `json:"drifts,omitempty"`
+		Golden  string             `json:"golden"` // ok | drift | updated | none | skipped | n/a
+		Summary map[string]float64 `json:"summary,omitempty"`
+		Notes   []string           `json:"notes,omitempty"`
+	}
+	reports := make([]report, 0, len(results))
+	tol := runner.DefaultTolerance()
+
+	for _, r := range results {
+		rep := report{ID: r.Job.Label(), WallMS: float64(r.Wall) / float64(time.Millisecond), SimNS: int64(r.SimTime), Golden: "n/a"}
+		if r.Err != nil {
+			rep.Error = r.Err.Error()
+			if r.Panicked && cfg.verbose {
+				fmt.Fprintln(os.Stderr, r.Stack)
+			}
+			exitCode = 1
+			reports = append(reports, rep)
+			continue
+		}
+		rep.Summary = r.Res.Summary
+		if cfg.verbose {
+			rep.Notes = r.Res.Notes
+		}
+		snap := runner.Snap(r)
+		switch {
+		case cfg.updateGolden:
+			if err := snap.WriteFile(cfg.goldenDir); err != nil {
+				fmt.Fprintln(os.Stderr, "phantom-suite: write golden:", err)
+				return 2
+			}
+			rep.Golden = "updated"
+		default:
+			want, err := runner.ReadSnapshot(cfg.goldenDir, snap.ID)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				rep.Golden = "none"
+			case err != nil:
+				fmt.Fprintln(os.Stderr, "phantom-suite:", err)
+				return 2
+			case want.SimNanos != snap.SimNanos:
+				rep.Golden = "skipped" // baseline recorded at a different duration
+			default:
+				drifts := runner.Compare(snap, want, tol)
+				if len(drifts) == 0 {
+					rep.Golden = "ok"
+				} else {
+					rep.Golden = "drift"
+					exitCode = 1
+					for _, d := range drifts {
+						rep.Drifts = append(rep.Drifts, d.String())
+					}
+				}
+			}
+		}
+		reports = append(reports, rep)
+	}
+
+	if cfg.jsonOut {
+		out := struct {
+			Results []report `json:"results"`
+			Wall    float64  `json:"wall_ms"`
+			Work    float64  `json:"work_ms"`
+			Speedup float64  `json:"work_wall_ratio"`
+			SimSec  float64  `json:"sim_seconds"`
+			Workers int      `json:"workers"`
+			Failed  int      `json:"failed"`
+		}{reports, float64(stats.Wall) / float64(time.Millisecond),
+			float64(stats.WorkWall) / float64(time.Millisecond),
+			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+		return exitCode
+	}
+
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	for _, rep := range reports {
+		status := "ok"
+		if rep.Error != "" {
+			status = "FAIL"
+		}
+		fmt.Printf("%-6s %-4s %8.0fms sim=%-8v golden=%s\n",
+			rep.ID, status, rep.WallMS, sim.Duration(rep.SimNS), rep.Golden)
+		for _, d := range rep.Drifts {
+			fmt.Printf("       drift: %s\n", d)
+		}
+		if rep.Error != "" {
+			fmt.Printf("       error: %s\n", rep.Error)
+		}
+		for _, n := range rep.Notes {
+			fmt.Printf("       • %s\n", n)
+		}
+	}
+	fmt.Printf("\n%d experiments, %d failed · wall %v · work %v · work/wall %.2fx (j=%d) · %.1f sim-s/wall-s\n",
+		stats.Runs, stats.Failed, stats.Wall.Round(time.Millisecond),
+		stats.WorkWall.Round(time.Millisecond), stats.Speedup(), stats.Workers,
+		stats.SimPerWallSecond())
+	return exitCode
+}

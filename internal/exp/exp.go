@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -20,6 +21,13 @@ type Options struct {
 	Duration sim.Duration
 	// Quiet suppresses figure rendering (benchmarks want metrics only).
 	Quiet bool
+	// Seed is the base seed for any stochastic component of the experiment
+	// (loss injection, random on/off phases). The experiments in this
+	// repository are fully specified by their definitions and pick fixed
+	// internal seeds, so a zero Seed reproduces the paper figures exactly;
+	// the fleet runner derives a stable non-zero Seed per (experiment,
+	// sweep index) so that future stochastic sweeps stay reproducible.
+	Seed uint64
 }
 
 // Result is an experiment's output.
@@ -60,7 +68,15 @@ type Definition struct {
 	Run      func(o Options) (*Result, error)
 }
 
-var registry = map[string]Definition{}
+var (
+	registry = map[string]Definition{}
+
+	// sortedOnce caches the ID-ordered view of the registry. Registration
+	// only happens from init funcs, so by the time any caller asks for the
+	// ordered view the registry is frozen and the sort can run exactly once.
+	sortedOnce sync.Once
+	sorted     []Definition
+)
 
 // register installs a definition; duplicate IDs are a programming error.
 func register(d Definition) {
@@ -76,14 +92,103 @@ func Get(id string) (Definition, bool) {
 	return d, ok
 }
 
-// All returns every definition ordered by ID.
+// ordered returns the shared ID-sorted slice. Callers must not mutate it.
+func ordered() []Definition {
+	sortedOnce.Do(func() {
+		sorted = make([]Definition, 0, len(registry))
+		for _, d := range registry {
+			sorted = append(sorted, d)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	})
+	return sorted
+}
+
+// All returns every definition ordered by ID. The returned slice is the
+// caller's to mutate: it is a copy of the registry's cached order, so
+// reordering or overwriting entries cannot corrupt later calls.
 func All() []Definition {
-	out := make([]Definition, 0, len(registry))
-	for _, d := range registry {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	src := ordered()
+	out := make([]Definition, len(src))
+	copy(out, src)
 	return out
+}
+
+// Count returns the number of registered experiments.
+func Count() int { return len(registry) }
+
+// Walk calls fn for every definition in ID order without allocating a new
+// slice. It stops early when fn returns false. This is the iteration path
+// for hot callers (the fleet runner walks the registry once per suite run).
+func Walk(fn func(Definition) bool) {
+	for _, d := range ordered() {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// Phase marks a point in an experiment's execution as observed by a Hook.
+type Phase int
+
+const (
+	// PhaseStart fires immediately before the experiment's Run function.
+	PhaseStart Phase = iota
+	// PhaseDone fires after a successful run.
+	PhaseDone
+	// PhaseFailed fires after a run that returned an error.
+	PhaseFailed
+)
+
+// String names the phase for logs.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStart:
+		return "start"
+	case PhaseDone:
+		return "done"
+	case PhaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Hook observes experiment execution. The fleet runner uses it for progress
+// reporting and wall-clock accounting without exp importing any runner types.
+// err is nil except for PhaseFailed.
+type Hook func(id string, phase Phase, err error)
+
+// Execute runs d under o, invoking hook (when non-nil) around the run and
+// validating the result envelope: a successful run must return a non-nil
+// Result whose ID matches the definition and whose Summary map is non-nil,
+// so downstream consumers (golden snapshots, benchmarks) never nil-check.
+// Panics inside Run propagate to the caller; the fleet runner converts them
+// to failed results so one crashing experiment cannot kill a whole suite.
+func Execute(d Definition, o Options, hook Hook) (*Result, error) {
+	if hook != nil {
+		hook(d.ID, PhaseStart, nil)
+	}
+	res, err := d.Run(o)
+	if err == nil {
+		switch {
+		case res == nil:
+			err = fmt.Errorf("exp: %s returned a nil result", d.ID)
+		case res.ID != d.ID:
+			err = fmt.Errorf("exp: %s returned result with ID %q", d.ID, res.ID)
+		case res.Summary == nil:
+			err = fmt.Errorf("exp: %s returned a nil summary", d.ID)
+		}
+	}
+	if err != nil {
+		if hook != nil {
+			hook(d.ID, PhaseFailed, err)
+		}
+		return nil, err
+	}
+	if hook != nil {
+		hook(d.ID, PhaseDone, nil)
+	}
+	return res, nil
 }
 
 // duration applies the default when the option is zero.

@@ -32,6 +32,85 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("nope"); ok {
 		t.Fatal("Get(nope) succeeded")
 	}
+	if Count() != len(want) {
+		t.Fatalf("Count() = %d, want %d", Count(), len(want))
+	}
+}
+
+// TestAllReturnsCopy pins the registry's read-only safety: a caller that
+// sorts, truncates or overwrites the slice All returns must not be able to
+// corrupt what later callers (or Walk) observe.
+func TestAllReturnsCopy(t *testing.T) {
+	first := All()
+	// Vandalize every field a caller could reach.
+	for i := range first {
+		first[i].ID = "XX"
+		first[i].Run = nil
+		first[i].Title = "clobbered"
+	}
+	first = first[:1]
+
+	second := All()
+	if len(second) != Count() {
+		t.Fatalf("registry shrank after caller truncation: %d", len(second))
+	}
+	for i, d := range second {
+		if d.ID == "XX" || d.Run == nil || d.Title == "clobbered" {
+			t.Fatalf("registry entry %d corrupted by a caller's mutation: %+v", i, d)
+		}
+	}
+	if second[0].ID != "A01" {
+		t.Fatalf("order lost after caller mutation: first ID %s", second[0].ID)
+	}
+	// Walk must agree with All.
+	i := 0
+	Walk(func(d Definition) bool {
+		if d.ID != second[i].ID {
+			t.Fatalf("Walk[%d] = %s, All[%d] = %s", i, d.ID, i, second[i].ID)
+		}
+		i++
+		return true
+	})
+	if i != len(second) {
+		t.Fatalf("Walk visited %d of %d", i, len(second))
+	}
+	// Early termination stops the walk.
+	n := 0
+	Walk(func(Definition) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("Walk ignored early stop: visited %d", n)
+	}
+}
+
+// TestExecuteValidation checks the run-hook wrapper: hooks fire in order and
+// malformed results are rejected before they can reach golden snapshots.
+func TestExecuteValidation(t *testing.T) {
+	var phases []Phase
+	hook := func(id string, p Phase, err error) { phases = append(phases, p) }
+
+	good := Definition{ID: "T1", Run: func(o Options) (*Result, error) {
+		return &Result{ID: "T1", Summary: map[string]float64{}}, nil
+	}}
+	if _, err := Execute(good, Options{}, hook); err != nil {
+		t.Fatalf("good run rejected: %v", err)
+	}
+	if len(phases) != 2 || phases[0] != PhaseStart || phases[1] != PhaseDone {
+		t.Fatalf("hook phases = %v", phases)
+	}
+
+	for name, def := range map[string]Definition{
+		"nil result":  {ID: "T2", Run: func(Options) (*Result, error) { return nil, nil }},
+		"wrong ID":    {ID: "T3", Run: func(Options) (*Result, error) { return &Result{ID: "ZZ", Summary: map[string]float64{}}, nil }},
+		"nil summary": {ID: "T4", Run: func(Options) (*Result, error) { return &Result{ID: "T4"}, nil }},
+	} {
+		phases = nil
+		if _, err := Execute(def, Options{}, hook); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+		if len(phases) != 2 || phases[1] != PhaseFailed {
+			t.Errorf("%s: hook phases = %v", name, phases)
+		}
+	}
 }
 
 // run executes an experiment at reduced duration.

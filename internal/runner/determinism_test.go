@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// shortDuration picks a determinism-test duration for id: long enough that
+// the experiment exercises its whole pipeline, short enough that running the
+// entire registry three times stays affordable under -race. Shape quality is
+// irrelevant here — only reproducibility is under test.
+func shortDuration(id string) sim.Duration {
+	if q := QuickDuration(id); q > 0 {
+		return q / 8
+	}
+	return 50 * sim.Millisecond
+}
+
+// summariesIdentical reports whether two summary maps are bit-identical:
+// same keys, and every value the same float64 bit pattern (so +0/-0 and NaN
+// payload changes count as drift).
+func summariesIdentical(t *testing.T, label string, a, b map[string]float64) bool {
+	t.Helper()
+	ok := true
+	for k, va := range a {
+		vb, present := b[k]
+		if !present {
+			t.Errorf("%s: metric %q missing from second run", label, k)
+			ok = false
+			continue
+		}
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Errorf("%s: metric %q differs: %v (%#x) vs %v (%#x)",
+				label, k, va, math.Float64bits(va), vb, math.Float64bits(vb))
+			ok = false
+		}
+	}
+	for k := range b {
+		if _, present := a[k]; !present {
+			t.Errorf("%s: metric %q appeared only in second run", label, k)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// TestDeterminism is the suite's reproducibility contract: every registered
+// experiment run twice directly yields bit-identical summaries (same seed ⇒
+// same metrics), and the parallel fleet yields the same bits as the direct
+// runs (sequential ≡ parallel — worker count and completion order are
+// invisible to the results).
+func TestDeterminism(t *testing.T) {
+	defs := exp.All()
+	if len(defs) == 0 {
+		t.Fatal("registry is empty")
+	}
+
+	// Direct sequential runs, seeded exactly as the fleet would seed them.
+	direct := make([]*exp.Result, len(defs))
+	for i, d := range defs {
+		o := exp.Options{Quiet: true, Duration: shortDuration(d.ID), Seed: DeriveSeed(d.ID, 0)}
+		first, err := exp.Execute(d, o, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", d.ID, err)
+		}
+		second, err := exp.Execute(d, o, nil)
+		if err != nil {
+			t.Fatalf("%s (second run): %v", d.ID, err)
+		}
+		summariesIdentical(t, d.ID+" run1-vs-run2", first.Summary, second.Summary)
+		direct[i] = first
+	}
+
+	// Fleet run at -j 4: results must match the direct runs bit-for-bit.
+	jobs := make([]Job, len(defs))
+	for i, d := range defs {
+		jobs[i] = Job{Def: d, Opts: exp.Options{Quiet: true, Duration: shortDuration(d.ID)}}
+	}
+	fleet := &Fleet{Workers: 4}
+	results, stats := fleet.Run(jobs)
+	if stats.Failed != 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				t.Errorf("fleet: %s failed: %v", r.Job.Label(), r.Err)
+			}
+		}
+		t.FailNow()
+	}
+	for i, r := range results {
+		if r.Job.Def.ID != defs[i].ID {
+			t.Fatalf("fleet result %d is %s, want %s — order not preserved", i, r.Job.Def.ID, defs[i].ID)
+		}
+		summariesIdentical(t, defs[i].ID+" direct-vs-fleet", direct[i].Summary, r.Res.Summary)
+	}
+}

@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"repro/internal/sim"
+)
+
+// quickDurations is the reduced-duration profile shared by the suite CLI's
+// -quick mode, the golden baselines, and the top-level benchmarks: long
+// enough that every experiment keeps its qualitative shape, short enough
+// that the whole suite is affordable on every push. ATM experiments
+// converge within ≈100 ms of simulated time; the TCP ones need a few
+// seconds of AIMD sawtooth.
+var quickDurations = map[string]sim.Duration{
+	"E01": 200 * sim.Millisecond,
+	"E02": 400 * sim.Millisecond,
+	"E03": 500 * sim.Millisecond,
+	"E04": 400 * sim.Millisecond,
+	"E05": 400 * sim.Millisecond,
+	"E06": 200 * sim.Millisecond,
+	"E07": 400 * sim.Millisecond,
+	"E08": 300 * sim.Millisecond,
+	"E09": 5 * sim.Second,
+	"E10": 5 * sim.Second,
+	"E11": 4 * sim.Second,
+	"E12": 5 * sim.Second,
+	"E13": 5 * sim.Second,
+	"E14": 400 * sim.Millisecond,
+	"E15": 400 * sim.Millisecond,
+	"E16": 400 * sim.Millisecond,
+	"E17": 400 * sim.Millisecond,
+	"E18": 500 * sim.Millisecond,
+	"E19": 10 * sim.Second,
+	"E20": 6 * sim.Second,
+	"E21": 600 * sim.Millisecond,
+	"E22": 400 * sim.Millisecond,
+	"A01": 400 * sim.Millisecond,
+	"A02": 300 * sim.Millisecond,
+	"A03": 300 * sim.Millisecond,
+	"A04": 300 * sim.Millisecond,
+	"A05": 500 * sim.Millisecond,
+}
+
+// QuickDuration returns the reduced simulated duration for id, or the
+// definition default (reported as 0) when the id has no quick entry — new
+// experiments run at their defaults until someone tunes a quick value.
+func QuickDuration(id string) sim.Duration {
+	return quickDurations[id]
+}

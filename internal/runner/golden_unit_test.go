@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Snapshot{
+		ID:       "E99",
+		SimNanos: int64(250 * sim.Millisecond),
+		Seed:     DeriveSeed("E99", 0),
+		Summary: map[string]float64{
+			"jain":  0.9987654321012345,
+			"peakq": 137,
+			"tiny":  3.141592653589793e-17,
+		},
+	}
+	if err := s.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(dir, "E99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || got.SimNanos != s.SimNanos || got.Seed != s.Seed {
+		t.Fatalf("round trip mangled envelope: %+v", got)
+	}
+	// encoding/json emits the shortest float form that round-trips, so the
+	// values must come back bit-identical.
+	for k, v := range s.Summary {
+		if math.Float64bits(got.Summary[k]) != math.Float64bits(v) {
+			t.Errorf("%s: %v -> %v, not bit-identical", k, v, got.Summary[k])
+		}
+	}
+	if drifts := Compare(got, s, Tolerance{}); len(drifts) != 0 {
+		t.Errorf("round trip drifted: %v", drifts)
+	}
+}
+
+func TestReadSnapshotMissing(t *testing.T) {
+	_, err := ReadSnapshot(t.TempDir(), "E00")
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing golden returned %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestCompareFlagsDrift(t *testing.T) {
+	base := Snapshot{ID: "X", SimNanos: 1000, Summary: map[string]float64{
+		"util": 0.95, "peakq": 200, "zeroish": 0,
+	}}
+	tol := Tolerance{Default: 1e-9}
+
+	same := Snapshot{ID: "X", SimNanos: 1000, Summary: map[string]float64{
+		"util": 0.95, "peakq": 200, "zeroish": 0,
+	}}
+	if d := Compare(same, base, tol); len(d) != 0 {
+		t.Errorf("identical snapshots drifted: %v", d)
+	}
+
+	off := Snapshot{ID: "X", SimNanos: 1000, Summary: map[string]float64{
+		"util": 0.95 * (1 + 1e-6), "peakq": 200, "zeroish": 0,
+	}}
+	d := Compare(off, base, tol)
+	if len(d) != 1 || d[0].Metric != "util" {
+		t.Fatalf("drift not flagged: %v", d)
+	}
+	if d[0].RelErr <= tol.Default || d[0].Allowed != tol.Default {
+		t.Errorf("drift misreported: %+v", d[0])
+	}
+
+	// Within tolerance passes.
+	if d := Compare(off, base, Tolerance{Default: 1e-3}); len(d) != 0 {
+		t.Errorf("in-tolerance drift flagged: %v", d)
+	}
+}
+
+func TestCompareMissingAndExtra(t *testing.T) {
+	want := Snapshot{SimNanos: 1, Summary: map[string]float64{"a": 1, "b": 2}}
+	got := Snapshot{SimNanos: 1, Summary: map[string]float64{"b": 2, "c": 3}}
+	d := Compare(got, want, Tolerance{})
+	if len(d) != 2 {
+		t.Fatalf("want missing+extra, got %v", d)
+	}
+	if !d[0].Missing || d[0].Metric != "a" {
+		t.Errorf("missing metric not flagged: %+v", d[0])
+	}
+	if !d[1].Extra || d[1].Metric != "c" {
+		t.Errorf("extra metric not flagged: %+v", d[1])
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	want := Snapshot{SimNanos: 1, Summary: map[string]float64{"m": 1.5}}
+	got := Snapshot{SimNanos: 1, Summary: map[string]float64{"m": math.NaN()}}
+	if d := Compare(got, want, Tolerance{Default: 1}); len(d) != 1 {
+		t.Errorf("NaN drift not flagged: %v", d)
+	}
+	both := Snapshot{SimNanos: 1, Summary: map[string]float64{"m": math.NaN()}}
+	if d := Compare(both, both, Tolerance{}); len(d) != 0 {
+		t.Errorf("NaN==NaN flagged: %v", d)
+	}
+}
+
+func TestCompareDurationMismatch(t *testing.T) {
+	a := Snapshot{SimNanos: 1000, Summary: map[string]float64{"m": 1}}
+	b := Snapshot{SimNanos: 2000, Summary: map[string]float64{"m": 1}}
+	d := Compare(a, b, Tolerance{Default: 1})
+	if len(d) != 1 || d[0].Metric != "sim_nanos" {
+		t.Fatalf("duration mismatch not flagged: %v", d)
+	}
+}
+
+func TestTolerancePrefixResolution(t *testing.T) {
+	tol := Tolerance{
+		Default: 1e-9,
+		PerMetric: map[string]float64{
+			"conv_ms": 0.02,
+			"conv":    0.5,
+		},
+	}
+	if got := tol.forMetric("conv_ms_Phantom"); got != 0.02 {
+		t.Errorf("longest prefix lost: conv_ms_Phantom -> %v", got)
+	}
+	if got := tol.forMetric("conv_ms"); got != 0.02 {
+		t.Errorf("exact match lost: %v", got)
+	}
+	if got := tol.forMetric("convergence"); got != 0.5 {
+		t.Errorf("short prefix lost: %v", got)
+	}
+	if got := tol.forMetric("util"); got != 1e-9 {
+		t.Errorf("default lost: %v", got)
+	}
+}

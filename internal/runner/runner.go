@@ -1,0 +1,218 @@
+// Package runner executes experiment suites as a fleet: a bounded worker
+// pool that runs one sim.Engine per goroutine, so a multi-core machine
+// regenerates the paper's tables and figures in the wall-clock time of the
+// slowest experiment instead of the sum of all of them.
+//
+// The design leans on two properties of the layers below:
+//
+//   - Engines are share-nothing. internal/sim documents (and partially
+//     enforces) the one-engine-per-goroutine contract, so experiments
+//     compose under parallelism with no locking at all.
+//   - Experiments are deterministic. A Definition plus Options fully
+//     specifies a run, and each job's seed is derived from (ID, sweep
+//     index) alone — see DeriveSeed — so the fleet's results are
+//     bit-identical to a sequential run no matter the worker count or
+//     completion order.
+//
+// A panicking experiment is captured per job and reported as a failed
+// Result; it never takes down the fleet or the process.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// Job is one unit of fleet work: an experiment definition plus the options
+// to run it under. Sweep expansions of a single definition share the ID and
+// differ in SweepIndex (and whatever Opts the expansion varied).
+type Job struct {
+	Def exp.Definition
+	// Opts are the run options. Opts.Seed is overwritten by the fleet with
+	// DeriveSeed(Def.ID, SweepIndex) unless PinSeed is set.
+	Opts exp.Options
+	// SweepIndex distinguishes points of a parameter sweep; plain suite
+	// runs leave it zero.
+	SweepIndex int
+	// Name labels the job in reports; empty means Def.ID (plus the sweep
+	// index when non-zero).
+	Name string
+	// PinSeed keeps Opts.Seed as given instead of deriving it. Tests use
+	// it to replay a specific seed.
+	PinSeed bool
+}
+
+// Label returns the job's display name.
+func (j Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if j.SweepIndex != 0 {
+		return fmt.Sprintf("%s#%d", j.Def.ID, j.SweepIndex)
+	}
+	return j.Def.ID
+}
+
+// Result is the outcome of one job. Exactly one of Res or Err is set; a
+// captured panic additionally carries its stack.
+type Result struct {
+	Job      Job
+	Res      *exp.Result
+	Err      error
+	Panicked bool
+	Stack    string
+	// Wall is the job's own execution time.
+	Wall time.Duration
+	// SimTime is the simulated duration the job covered (the option's
+	// duration, or the definition's default when unset).
+	SimTime sim.Duration
+}
+
+// Stats aggregates a fleet run.
+type Stats struct {
+	Runs    int
+	Failed  int
+	Workers int
+	// Wall is the fleet's end-to-end time; WorkWall is the sum of the
+	// per-job times. WorkWall/Wall is the realized parallel speedup.
+	Wall     time.Duration
+	WorkWall time.Duration
+	// SimTime is the total simulated time covered by all jobs.
+	SimTime sim.Duration
+}
+
+// Speedup returns the realized parallelism WorkWall/Wall (1.0 when
+// sequential; approaches Workers when the jobs are balanced). Note that on
+// a machine with fewer cores than workers each job's wall time includes the
+// scheduler's time-slicing, which inflates WorkWall — the true wall-clock
+// win is the ratio of a j=1 run's Wall to a j=N run's Wall (what the
+// BenchmarkSuite pair at the repository root measures).
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.WorkWall) / float64(s.Wall)
+}
+
+// SimPerWallSecond returns simulated seconds executed per wall second, the
+// fleet's throughput headline.
+func (s Stats) SimPerWallSecond() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return s.SimTime.Seconds() / s.Wall.Seconds()
+}
+
+// Fleet runs jobs on a bounded pool of workers.
+type Fleet struct {
+	// Workers bounds the concurrency; zero or negative means
+	// runtime.GOMAXPROCS(0) (the -j default of the CLIs).
+	Workers int
+	// Hook, when set, observes each job's start/done/failed transitions.
+	// It may be called from several workers at once and must be safe for
+	// concurrent use.
+	Hook exp.Hook
+}
+
+// Jobs builds one job per definition under shared options.
+func Jobs(defs []exp.Definition, opts exp.Options) []Job {
+	jobs := make([]Job, len(defs))
+	for i, d := range defs {
+		jobs[i] = Job{Def: d, Opts: opts}
+	}
+	return jobs
+}
+
+// Sweep expands def into n jobs, calling vary(i, &opts) to mutate the i-th
+// point's options. Each point gets its own derived seed via SweepIndex.
+func Sweep(def exp.Definition, base exp.Options, n int, vary func(i int, o *exp.Options)) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		o := base
+		if vary != nil {
+			vary(i, &o)
+		}
+		jobs[i] = Job{Def: def, Opts: o, SweepIndex: i}
+	}
+	return jobs
+}
+
+// Run executes the jobs and returns one Result per job, in job order
+// (results are indexed, never appended, so completion order is invisible to
+// callers). It blocks until every job finishes; a panicking job is captured
+// into its Result and the fleet keeps going.
+func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(jobs[i], f.Hook)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	stats := Stats{Runs: len(jobs), Workers: workers, Wall: time.Since(start)}
+	for i := range results {
+		stats.WorkWall += results[i].Wall
+		stats.SimTime += results[i].SimTime
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+	}
+	return results, stats
+}
+
+// runOne executes a single job with panic capture. One call runs exactly one
+// sim.Engine on the calling goroutine, honoring the engine contract.
+func runOne(job Job, hook exp.Hook) (r Result) {
+	r.Job = job
+	r.SimTime = job.Opts.Duration
+	if r.SimTime <= 0 {
+		r.SimTime = job.Def.Default
+	}
+	if !job.PinSeed {
+		job.Opts.Seed = DeriveSeed(job.Def.ID, job.SweepIndex)
+	}
+	start := time.Now()
+	defer func() {
+		r.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			r.Res = nil
+			r.Err = fmt.Errorf("runner: %s panicked: %v", job.Label(), p)
+			r.Panicked = true
+			r.Stack = string(debug.Stack())
+			if hook != nil {
+				hook(job.Def.ID, exp.PhaseFailed, r.Err)
+			}
+		}
+	}()
+	r.Res, r.Err = exp.Execute(job.Def, job.Opts, hook)
+	return r
+}

@@ -1,0 +1,207 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// fakeDef builds a synthetic experiment definition for fleet tests.
+func fakeDef(id string, run func(o exp.Options) (*exp.Result, error)) exp.Definition {
+	return exp.Definition{ID: id, PaperRef: "test", Title: "fake " + id, Default: sim.Millisecond, Run: run}
+}
+
+func okDef(id string, v float64) exp.Definition {
+	return fakeDef(id, func(o exp.Options) (*exp.Result, error) {
+		return &exp.Result{ID: id, Summary: map[string]float64{"v": v, "seed": float64(o.Seed)}, Notes: []string{"ok"}}, nil
+	})
+}
+
+func TestFleetPreservesJobOrder(t *testing.T) {
+	const n = 16
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Def: okDef(fmt.Sprintf("T%02d", i), float64(i))}
+	}
+	fleet := &Fleet{Workers: 5}
+	results, stats := fleet.Run(jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if got := r.Res.Summary["v"]; got != float64(i) {
+			t.Errorf("result %d carries v=%v — completion order leaked into result order", i, got)
+		}
+	}
+	if stats.Runs != n || stats.Failed != 0 || stats.Workers != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Wall <= 0 || stats.WorkWall <= 0 {
+		t.Errorf("stats missing wall clocks: %+v", stats)
+	}
+}
+
+func TestFleetPanicCapture(t *testing.T) {
+	jobs := []Job{
+		{Def: okDef("T00", 0)},
+		{Def: fakeDef("T01", func(exp.Options) (*exp.Result, error) { panic("deliberate crash") })},
+		{Def: okDef("T02", 2)},
+		{Def: fakeDef("T03", func(exp.Options) (*exp.Result, error) { return nil, errors.New("plain failure") })},
+	}
+	fleet := &Fleet{Workers: 4}
+	results, stats := fleet.Run(jobs)
+	if stats.Failed != 2 {
+		t.Fatalf("stats.Failed = %d, want 2", stats.Failed)
+	}
+	r := results[1]
+	if !r.Panicked || r.Err == nil || !strings.Contains(r.Err.Error(), "deliberate crash") {
+		t.Fatalf("panic not captured: %+v", r)
+	}
+	if !strings.Contains(r.Stack, "goroutine") {
+		t.Errorf("panic result carries no stack")
+	}
+	if results[3].Panicked || results[3].Err == nil {
+		t.Errorf("plain error mishandled: %+v", results[3])
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("healthy job %d infected by neighbor's crash: %v", i, results[i].Err)
+		}
+	}
+}
+
+func TestFleetBoundsWorkers(t *testing.T) {
+	const workers, n = 3, 24
+	var cur, peak atomic.Int64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Def: fakeDef(fmt.Sprintf("T%02d", i), func(exp.Options) (*exp.Result, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return &exp.Result{ID: "x", Summary: map[string]float64{}}, nil
+		})}
+	}
+	// The fake's Result.ID doesn't match the definition ID, which Execute
+	// rejects — that's fine, this test only watches concurrency.
+	fleet := &Fleet{Workers: workers}
+	fleet.Run(jobs)
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, want ≤ %d", p, workers)
+	}
+}
+
+func TestFleetDerivesSeeds(t *testing.T) {
+	def := okDef("T00", 1)
+	jobs := []Job{
+		{Def: def},
+		{Def: def, SweepIndex: 5},
+		{Def: def, Opts: exp.Options{Seed: 42}, PinSeed: true},
+	}
+	fleet := &Fleet{Workers: 1}
+	results, _ := fleet.Run(jobs)
+	if got, want := results[0].Res.Summary["seed"], float64(DeriveSeed("T00", 0)); got != want {
+		t.Errorf("job 0 ran with seed %v, want derived %v", got, want)
+	}
+	if got, want := results[1].Res.Summary["seed"], float64(DeriveSeed("T00", 5)); got != want {
+		t.Errorf("sweep job ran with seed %v, want derived %v", got, want)
+	}
+	if got := results[2].Res.Summary["seed"]; got != 42 {
+		t.Errorf("pinned job ran with seed %v, want 42", got)
+	}
+}
+
+func TestFleetHookPhases(t *testing.T) {
+	var mu sync.Mutex
+	phases := map[string][]exp.Phase{}
+	hook := func(id string, p exp.Phase, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		phases[id] = append(phases[id], p)
+	}
+	jobs := []Job{
+		{Def: okDef("T00", 0)},
+		{Def: fakeDef("T01", func(exp.Options) (*exp.Result, error) { panic("boom") })},
+		{Def: fakeDef("T02", func(exp.Options) (*exp.Result, error) { return nil, errors.New("nope") })},
+	}
+	fleet := &Fleet{Workers: 2, Hook: hook}
+	fleet.Run(jobs)
+	want := map[string][]exp.Phase{
+		"T00": {exp.PhaseStart, exp.PhaseDone},
+		"T01": {exp.PhaseStart, exp.PhaseFailed},
+		"T02": {exp.PhaseStart, exp.PhaseFailed},
+	}
+	for id, w := range want {
+		got := phases[id]
+		if len(got) != len(w) {
+			t.Errorf("%s phases = %v, want %v", id, got, w)
+			continue
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("%s phases = %v, want %v", id, got, w)
+				break
+			}
+		}
+	}
+}
+
+func TestJobsAndSweepHelpers(t *testing.T) {
+	defs := []exp.Definition{okDef("T00", 0), okDef("T01", 1)}
+	jobs := Jobs(defs, exp.Options{Quiet: true})
+	if len(jobs) != 2 || jobs[1].Def.ID != "T01" || !jobs[1].Opts.Quiet {
+		t.Fatalf("Jobs built %+v", jobs)
+	}
+
+	sweep := Sweep(defs[0], exp.Options{Quiet: true}, 3, func(i int, o *exp.Options) {
+		o.Duration = sim.Duration(i+1) * sim.Millisecond
+	})
+	if len(sweep) != 3 {
+		t.Fatalf("Sweep built %d jobs", len(sweep))
+	}
+	for i, j := range sweep {
+		if j.SweepIndex != i || j.Opts.Duration != sim.Duration(i+1)*sim.Millisecond || !j.Opts.Quiet {
+			t.Errorf("sweep point %d = %+v", i, j)
+		}
+	}
+	if sweep[0].Label() != "T00" || sweep[2].Label() != "T00#2" {
+		t.Errorf("labels: %q, %q", sweep[0].Label(), sweep[2].Label())
+	}
+}
+
+// TestFleetSimTime checks the throughput accounting: jobs without an
+// explicit duration report the definition default.
+func TestFleetSimTime(t *testing.T) {
+	def := okDef("T00", 0) // Default: 1ms
+	jobs := []Job{
+		{Def: def},
+		{Def: def, Opts: exp.Options{Duration: 3 * sim.Millisecond}},
+	}
+	fleet := &Fleet{Workers: 1}
+	results, stats := fleet.Run(jobs)
+	if results[0].SimTime != sim.Millisecond || results[1].SimTime != 3*sim.Millisecond {
+		t.Errorf("per-job sim time: %v, %v", results[0].SimTime, results[1].SimTime)
+	}
+	if stats.SimTime != 4*sim.Millisecond {
+		t.Errorf("stats.SimTime = %v, want 4ms", stats.SimTime)
+	}
+	if stats.Speedup() <= 0 {
+		t.Errorf("speedup = %v", stats.Speedup())
+	}
+}

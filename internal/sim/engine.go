@@ -68,12 +68,26 @@ func (h *eventHeap) Pop() any {
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic precisely because all state
 // transitions happen on one goroutine in event order.
+//
+// The concurrency contract is one-engine-per-goroutine: an Engine and
+// everything scheduled on it must be driven by a single goroutine for the
+// engine's whole lifetime. Engines share no state, so any number of them may
+// run in parallel on different goroutines (the fleet runner in
+// internal/runner runs one experiment — and therefore one engine — per
+// worker). What is forbidden is two goroutines touching the same engine:
+// there is deliberately no internal locking, because a lock would serialize
+// the hot path every experiment spends all its time in and would still not
+// make interleaved event execution meaningful. Run and RunUntil enforce the
+// reentrant half of the contract by panicking when called while a run is
+// already in progress on the same engine; the cross-goroutine half is left
+// to the race detector, which CI runs on every test.
 type Engine struct {
 	now     Time
 	queue   eventHeap
 	seq     uint64
 	fired   uint64
 	stopped bool
+	running bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
@@ -141,11 +155,26 @@ func (e *Engine) Every(period Duration, fn Handler) EventRef {
 // Stop halts the run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// enter marks the engine as running; calling Run or RunUntil while a run is
+// already in progress (from an event handler, or from a second goroutine that
+// happens to be caught by this flag before the race detector sees it) is a
+// contract violation, never a recoverable condition, so it panics.
+func (e *Engine) enter() {
+	if e.running {
+		panic("sim: Run/RunUntil re-entered — engines are single-goroutine and non-reentrant")
+	}
+	e.running = true
+}
+
+func (e *Engine) leave() { e.running = false }
+
 // RunUntil executes events in order until the calendar empties, Stop is
 // called, or the next event lies beyond deadline. The clock finishes exactly
 // at deadline if the run was cut short by it, so successive RunUntil calls
 // compose. It returns the number of events fired by this call.
 func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.enter()
+	defer e.leave()
 	start := e.fired
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -170,6 +199,8 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 // Run executes every remaining event. Use RunUntil for open-ended sources
 // (periodic timers never drain the calendar).
 func (e *Engine) Run() uint64 {
+	e.enter()
+	defer e.leave()
 	start := e.fired
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {

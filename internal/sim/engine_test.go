@@ -321,3 +321,30 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestEngineReentrancyPanics pins the one-engine-per-goroutine contract's
+// enforceable half: driving Run or RunUntil from inside an event handler is
+// always a bug and must panic rather than interleave two event loops.
+func TestEngineReentrancyPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.At(1, func(en *Engine) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		en.RunUntil(10) // re-enter the running engine
+	})
+	e.RunUntil(5)
+	if !panicked {
+		t.Fatal("re-entrant RunUntil did not panic")
+	}
+	// The engine stays usable after the recovered violation.
+	fired := false
+	e.At(6, func(*Engine) { fired = true })
+	e.RunUntil(10)
+	if !fired {
+		t.Fatal("engine wedged after recovered re-entrancy panic")
+	}
+}
