@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// preRefactorAllocsPerOp is the engine hot-path cost before event-cell
+// pooling (one heap allocation per scheduled event plus loop overhead),
+// measured on the seed engine with the same 1000-event workload as
+// engineHotPath below. It is the reference for the ISSUE acceptance
+// criterion: pooled events must cut allocs/op by at least 20%.
+const preRefactorAllocsPerOp = 1005
+
+// backendStats is one backend's measured cost in the artifact.
+type backendStats struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimSPerWall float64 `json:"sim_s_per_wall_s,omitempty"`
+}
+
+// engineHotPath drives 1000 events through self-rescheduling chains — the
+// port-transmit pattern that dominates experiment run time.
+func engineHotPath(kind sim.SchedulerKind) {
+	e := sim.NewEngine(sim.WithScheduler(kind))
+	for s := 0; s < 8; s++ {
+		gap := sim.Duration(700 + 13*s)
+		left := 125
+		var tick sim.Handler
+		tick = func(en *sim.Engine) {
+			left--
+			if left > 0 {
+				en.After(gap, tick)
+			}
+		}
+		e.After(gap, tick)
+	}
+	e.Run()
+}
+
+// TestSchedulerBenchArtifact measures the engine hot path and a
+// representative experiment under both scheduler backends and writes the
+// numbers as JSON to the path in BENCH_SCHEDULER_OUT. It is skipped unless
+// that variable is set: CI's benchmark-smoke job runs it to publish the
+// BENCH_scheduler.json artifact, and developers can invoke it the same way.
+func TestSchedulerBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SCHEDULER_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SCHEDULER_OUT=<path> to write the scheduler benchmark artifact")
+	}
+
+	artifact := struct {
+		SchemaVersion    int                     `json:"schema_version"`
+		BaselineAllocs   int64                   `json:"pre_pooling_allocs_per_op"`
+		Engine           map[string]backendStats `json:"engine_hot_path_1000_events"`
+		SuiteE01         map[string]backendStats `json:"suite_e01_quick"`
+		AllocReductionPc float64                 `json:"alloc_reduction_vs_baseline_pct"`
+	}{
+		SchemaVersion:  exp.SchemaVersion,
+		BaselineAllocs: preRefactorAllocsPerOp,
+		Engine:         map[string]backendStats{},
+		SuiteE01:       map[string]backendStats{},
+	}
+
+	def, ok := exp.Get("E01")
+	if !ok {
+		t.Fatal("E01 not registered")
+	}
+	d := runner.QuickDuration("E01")
+
+	for _, kind := range sim.SchedulerKinds() {
+		kind := kind
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engineHotPath(kind)
+			}
+		})
+		artifact.Engine[string(kind)] = backendStats{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+
+		var simNS int64
+		s := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Execute(def, exp.Options{Quiet: true, Duration: d, Scheduler: kind}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+			simNS = int64(d)
+		})
+		artifact.SuiteE01[string(kind)] = backendStats{
+			NsPerOp:     s.NsPerOp(),
+			AllocsPerOp: s.AllocsPerOp(),
+			BytesPerOp:  s.AllocedBytesPerOp(),
+			SimSPerWall: float64(simNS) / float64(s.NsPerOp()),
+		}
+	}
+
+	heap := artifact.Engine[string(sim.SchedulerHeap)]
+	artifact.AllocReductionPc = 100 * (1 - float64(heap.AllocsPerOp)/float64(preRefactorAllocsPerOp))
+	if artifact.AllocReductionPc < 20 {
+		t.Errorf("pooled hot path allocs/op = %d, want ≥20%% below the pre-pooling baseline %d",
+			heap.AllocsPerOp, preRefactorAllocsPerOp)
+	}
+
+	b, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (heap hot path: %d allocs/op vs baseline %d, −%.1f%%)",
+		out, heap.AllocsPerOp, preRefactorAllocsPerOp, artifact.AllocReductionPc)
+}

@@ -4,141 +4,49 @@
 // Usage:
 //
 //	phantom-atm -list
-//	phantom-atm -exp E01 [-duration 400ms] [-quiet]
+//	phantom-atm -exp E01 [-duration 400ms] [-quiet] [-scheduler wheel]
 //	phantom-atm -all
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
-	"strings"
-	"time"
 
-	"repro/internal/exp"
+	"repro/internal/cli"
 )
 
+var atmIDs = []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
+	"E14", "E15", "E16", "E17", "E18", "E21", "E22", "A01", "A02", "A03", "A04", "A05"}
+
+// aliases maps informal names (fig3, table1) onto experiment IDs.
+var aliases = map[string]string{
+	"fig3": "E01", "fig4": "E02", "fig5": "E03", "fig6": "E04",
+	"fig7": "E05", "fig8": "E05", "fig9": "E06", "fig11": "E07",
+	"table1": "E08", "fig19": "E14", "fig20": "E14", "fig21": "E15",
+	"fig22": "E16", "table2": "E17", "exact": "E18", "gfc": "E21", "scaling": "E22",
+}
+
 func main() {
+	c := cli.New("phantom-atm",
+		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler)
 	list := flag.Bool("list", false, "list available experiments")
 	id := flag.String("exp", "", "experiment ID to run (e.g. E01, or a paper ref like fig3)")
 	all := flag.Bool("all", false, "run every ATM experiment (E01–E08, E14–E17, A01–A03)")
-	duration := flag.Duration("duration", 0, "override simulated duration (e.g. 200ms)")
-	quiet := flag.Bool("quiet", false, "suppress figures, print summary metrics only")
-	asJSON := flag.Bool("json", false, "print each experiment's summary as JSON")
-	flag.Parse()
-	jsonMode = *asJSON
-
-	atmIDs := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
-		"E14", "E15", "E16", "E17", "E18", "E21", "E22", "A01", "A02", "A03", "A04", "A05"}
+	c.Parse()
 
 	switch {
 	case *list:
-		for _, d := range exp.All() {
-			if contains(atmIDs, d.ID) {
-				fmt.Printf("%-4s %-18s %s\n", d.ID, d.PaperRef, d.Title)
-			}
-		}
+		cli.ListExperiments(atmIDs)
 	case *all:
 		for _, eid := range atmIDs {
-			if err := runOne(eid, *duration, *quiet); err != nil {
-				fatal(err)
+			if err := c.RunExperiment(eid); err != nil {
+				c.Fatal(err)
 			}
 		}
 	case *id != "":
-		if err := runOne(resolve(*id), *duration, *quiet); err != nil {
-			fatal(err)
+		if err := c.RunExperiment(cli.Resolve(aliases, *id)); err != nil {
+			c.Fatal(err)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		c.Usage()
 	}
-}
-
-// jsonMode switches output to machine-readable JSON.
-var jsonMode bool
-
-func contains(xs []string, x string) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
-}
-
-// resolve maps informal names (fig3, table1) onto experiment IDs.
-func resolve(name string) string {
-	aliases := map[string]string{
-		"fig3": "E01", "fig4": "E02", "fig5": "E03", "fig6": "E04",
-		"fig7": "E05", "fig8": "E05", "fig9": "E06", "fig11": "E07",
-		"table1": "E08", "fig19": "E14", "fig20": "E14", "fig21": "E15",
-		"fig22": "E16", "table2": "E17", "exact": "E18", "gfc": "E21", "scaling": "E22",
-	}
-	if id, ok := aliases[strings.ToLower(name)]; ok {
-		return id
-	}
-	return strings.ToUpper(name)
-}
-
-func runOne(id string, d time.Duration, quiet bool) error {
-	def, ok := exp.Get(id)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (use -list)", id)
-	}
-	if !jsonMode {
-		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
-	}
-	res, err := def.Run(exp.Options{Duration: d, Quiet: quiet || jsonMode})
-	if err != nil {
-		return err
-	}
-	if jsonMode {
-		if res.Title == "" {
-			res.Title = def.Title
-		}
-		out, err := res.JSON()
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(out))
-		return nil
-	}
-	printResult(res, quiet)
-	return nil
-}
-
-func printResult(res *exp.Result, quiet bool) {
-	for _, f := range res.Figures {
-		fmt.Println(f)
-	}
-	for _, t := range res.Tables {
-		fmt.Println(t)
-	}
-	for _, n := range res.Notes {
-		fmt.Printf("  • %s\n", n)
-	}
-	if quiet {
-		for _, k := range sortedKeys(res.Summary) {
-			fmt.Printf("  %-32s %v\n", k, res.Summary[k])
-		}
-	}
-	fmt.Println()
-}
-
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phantom-atm:", err)
-	os.Exit(1)
 }

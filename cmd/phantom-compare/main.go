@@ -6,41 +6,40 @@
 //
 // Usage:
 //
-//	phantom-compare [-duration 600ms] [-j N]
+//	phantom-compare [-duration 600ms] [-j N] [-scheduler wheel]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/runner"
 )
 
 func main() {
-	duration := flag.Duration("duration", 0, "override simulated duration")
-	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
-	flag.Parse()
+	c := cli.New("phantom-compare",
+		cli.FlagDuration|cli.FlagWorkers|cli.FlagScheduler)
+	c.Parse()
 
 	jobs := make([]runner.Job, 0, 2)
 	for _, id := range []string{"E17", "E16"} {
 		def, ok := exp.Get(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "phantom-compare: %s not registered\n", id)
-			os.Exit(1)
+			c.Fatal(fmt.Errorf("%s not registered", id))
 		}
-		jobs = append(jobs, runner.Job{Def: def, Opts: exp.Options{Duration: *duration}})
+		opts := c.Options()
+		opts.Quiet = false
+		jobs = append(jobs, runner.Job{Def: def, Opts: opts})
 	}
 
-	fleet := &runner.Fleet{Workers: *workers}
+	fleet := &runner.Fleet{Workers: c.Workers}
 	results, _ := fleet.Run(jobs)
 	for _, r := range results {
 		def := r.Job.Def
 		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
 		if r.Err != nil {
-			fmt.Fprintln(os.Stderr, "phantom-compare:", r.Err)
-			os.Exit(1)
+			c.Fatal(r.Err)
 		}
 		for _, t := range r.Res.Tables {
 			fmt.Println(t)

@@ -24,13 +24,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 )
 
 func main() {
+	app := cli.New("phantom-maxmin", 0)
 	u := flag.Float64("u", 5, "Phantom utilization factor for the predicted operating point")
-	flag.Parse()
+	app.Parse()
 
 	links := map[string]int{}
 	var caps []float64
@@ -49,42 +51,42 @@ func main() {
 		switch fields[0] {
 		case "link":
 			if len(fields) != 3 {
-				fatal(fmt.Errorf("line %d: link <name> <capacity>", lineNo))
+				app.Fatal(fmt.Errorf("line %d: link <name> <capacity>", lineNo))
 			}
 			c, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				fatal(fmt.Errorf("line %d: %v", lineNo, err))
+				app.Fatal(fmt.Errorf("line %d: %v", lineNo, err))
 			}
 			links[fields[1]] = len(caps)
 			caps = append(caps, c)
 		case "session":
 			if len(fields) < 3 {
-				fatal(fmt.Errorf("line %d: session <name> <link>...", lineNo))
+				app.Fatal(fmt.Errorf("line %d: session <name> <link>...", lineNo))
 			}
 			var path []int
 			for _, l := range fields[2:] {
 				idx, ok := links[l]
 				if !ok {
-					fatal(fmt.Errorf("line %d: unknown link %q", lineNo, l))
+					app.Fatal(fmt.Errorf("line %d: unknown link %q", lineNo, l))
 				}
 				path = append(path, idx)
 			}
 			sessionNames = append(sessionNames, fields[1])
 			sessions = append(sessions, path)
 		default:
-			fatal(fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0]))
+			app.Fatal(fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0]))
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	if len(sessions) == 0 {
-		fatal(fmt.Errorf("no sessions on stdin (see -h for the format)"))
+		app.Fatal(fmt.Errorf("no sessions on stdin (see -h for the format)"))
 	}
 
 	rates, err := metrics.MaxMinSolve(metrics.MaxMinProblem{Capacity: caps, Sessions: sessions})
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	tb := plot.NewTable("max-min fair allocation", "session", "rate")
 	for i, r := range rates {
@@ -108,9 +110,4 @@ func main() {
 		fmt.Printf("phantom on %s (k=%d single-link sessions, u=%g): MACR=%.3f rate=%.3f util=%.1f%%\n",
 			name, k, *u, macr, rate, 100*float64(k)*rate/caps[idx])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phantom-maxmin:", err)
-	os.Exit(1)
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/scenario"
@@ -29,27 +30,28 @@ import (
 )
 
 func main() {
-	quiet := flag.Bool("quiet", false, "summary table only, no charts")
+	c := cli.New("phantom-sim", cli.FlagQuiet|cli.FlagScheduler)
 	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
 	svgDir := flag.String("svg", "", "write SVG figures into this directory")
 	csvPath := flag.String("csv", "", "write all series as CSV to this file")
-	flag.Parse()
+	c.Parse()
 
 	spec, err := simconfig.Parse(os.Stdin)
 	if err != nil {
-		fatal(err)
+		c.Fatal(err)
 	}
+	spec.Config.Scheduler = c.Scheduler
 	if *traceN > 0 {
 		spec.Config.Trace = trace.New(*traceN)
 	}
 	n, err := scenario.BuildATM(spec.Config)
 	if err != nil {
-		fatal(err)
+		c.Fatal(err)
 	}
 	n.Run(spec.Duration)
 	end := n.Engine.Now()
 
-	if !*quiet {
+	if !c.Quiet {
 		q := plot.NewChart("trunk queue length", "cells", 0, end)
 		for k, s := range n.TrunkQueue {
 			q.Add(s, fmt.Sprintf("trunk%d", k))
@@ -77,7 +79,7 @@ func main() {
 
 	oracle, err := n.MaxMinOracle()
 	if err != nil {
-		fatal(err)
+		c.Fatal(err)
 	}
 	from := end - sim.Time(float64(end)*0.25)
 	tb := plot.NewTable("summary ("+spec.AlgName+")",
@@ -96,18 +98,18 @@ func main() {
 	}
 	if *svgDir != "" {
 		if err := writeSVGs(*svgDir, spec.AlgName, n, end); err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 	}
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, n, end); err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 	}
 	if tr := spec.Config.Trace; tr != nil {
 		fmt.Printf("\ntrace (last %d of %d events):\n", len(tr.Events()), tr.Seen())
 		if _, err := tr.WriteTo(os.Stdout); err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 	}
 }
@@ -166,9 +168,4 @@ func writeCSV(path string, n *scenario.ATMNet, end sim.Time) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phantom-sim:", err)
-	os.Exit(1)
 }

@@ -12,6 +12,9 @@
 //	-duration d     override every experiment's simulated duration
 //	-quick          use the reduced-duration profile (the golden baseline
 //	                profile; also what the benchmarks use)
+//	-scheduler s    engine calendar backend, heap (default) or wheel;
+//	                results are bit-identical either way, so golden
+//	                comparison still applies
 //	-golden dir     golden directory (default testdata/golden)
 //	-update-golden  rewrite the golden baselines from this run
 //	-json           machine-readable output
@@ -35,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -45,6 +49,7 @@ type suiteConfig struct {
 	workers      int
 	duration     sim.Duration
 	quick        bool
+	scheduler    sim.SchedulerKind
 	goldenDir    string
 	updateGolden bool
 	jsonOut      bool
@@ -53,28 +58,21 @@ type suiteConfig struct {
 }
 
 func main() {
+	c := cli.New("phantom-suite",
+		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler)
 	var (
-		filter       = flag.String("filter", "", "regexp of experiment IDs to run (empty = all)")
-		workers      = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
-		duration     = flag.Duration("duration", 0, "override simulated duration for every experiment")
-		quick        = flag.Bool("quick", false, "use the reduced-duration golden profile")
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
-		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON")
 		list         = flag.Bool("list", false, "list matching experiments and exit")
 		verbose      = flag.Bool("v", false, "print experiment notes")
 	)
-	flag.Parse()
+	c.Parse()
 
-	re, err := regexp.Compile(*filter)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "phantom-suite: bad -filter:", err)
-		os.Exit(2)
-	}
 	cfg := suiteConfig{
-		filter: re, workers: *workers, duration: *duration, quick: *quick,
+		filter: c.FilterRegexp(), workers: c.Workers,
+		duration: sim.Duration(c.Duration), quick: c.Quick, scheduler: c.Scheduler,
 		goldenDir: *goldenDir, updateGolden: *updateGolden,
-		jsonOut: *jsonOut, list: *list, verbose: *verbose,
+		jsonOut: c.JSON, list: *list, verbose: *verbose,
 	}
 	os.Exit(run(cfg))
 }
@@ -100,7 +98,7 @@ func run(cfg suiteConfig) int {
 
 	jobs := make([]runner.Job, len(defs))
 	for i, d := range defs {
-		o := exp.Options{Quiet: true, Duration: cfg.duration}
+		o := exp.Options{Quiet: true, Duration: cfg.duration, Scheduler: cfg.scheduler}
 		if cfg.quick && o.Duration == 0 {
 			o.Duration = runner.QuickDuration(d.ID)
 		}
@@ -187,14 +185,15 @@ func run(cfg suiteConfig) int {
 
 	if cfg.jsonOut {
 		out := struct {
-			Results []report `json:"results"`
-			Wall    float64  `json:"wall_ms"`
-			Work    float64  `json:"work_ms"`
-			Speedup float64  `json:"work_wall_ratio"`
-			SimSec  float64  `json:"sim_seconds"`
-			Workers int      `json:"workers"`
-			Failed  int      `json:"failed"`
-		}{reports, float64(stats.Wall) / float64(time.Millisecond),
+			SchemaVersion int      `json:"schema_version"`
+			Results       []report `json:"results"`
+			Wall          float64  `json:"wall_ms"`
+			Work          float64  `json:"work_ms"`
+			Speedup       float64  `json:"work_wall_ratio"`
+			SimSec        float64  `json:"sim_seconds"`
+			Workers       int      `json:"workers"`
+			Failed        int      `json:"failed"`
+		}{exp.SchemaVersion, reports, float64(stats.Wall) / float64(time.Millisecond),
 			float64(stats.WorkWall) / float64(time.Millisecond),
 			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed}
 		b, err := json.MarshalIndent(out, "", "  ")

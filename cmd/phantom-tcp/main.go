@@ -5,109 +5,46 @@
 // Usage:
 //
 //	phantom-tcp -list
-//	phantom-tcp -exp E09 [-duration 10s] [-quiet]
+//	phantom-tcp -exp E09 [-duration 10s] [-quiet] [-scheduler wheel]
 //	phantom-tcp -all
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
-	"strings"
-	"time"
 
-	"repro/internal/exp"
+	"repro/internal/cli"
 )
 
 var tcpIDs = []string{"E09", "E10", "E11", "E12", "E13", "E19", "E20"}
 
-// jsonMode switches output to machine-readable JSON.
-var jsonMode bool
+var aliases = map[string]string{
+	"fig14": "E09", "fig17": "E10", "fig18": "E11",
+	"quench": "E12", "ecn": "E12", "red": "E13",
+	"vegas": "E19", "interop": "E20", "atm": "E20",
+}
 
 func main() {
+	c := cli.New("phantom-tcp",
+		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler)
 	list := flag.Bool("list", false, "list available experiments")
 	id := flag.String("exp", "", "experiment ID to run (e.g. E09, fig14)")
 	all := flag.Bool("all", false, "run every TCP experiment (E09–E13)")
-	duration := flag.Duration("duration", 0, "override simulated duration (e.g. 10s)")
-	quiet := flag.Bool("quiet", false, "suppress figures, print summary metrics only")
-	asJSON := flag.Bool("json", false, "print each experiment's summary as JSON")
-	flag.Parse()
-	jsonMode = *asJSON
+	c.Parse()
 
 	switch {
 	case *list:
-		for _, d := range exp.All() {
-			for _, t := range tcpIDs {
-				if d.ID == t {
-					fmt.Printf("%-4s %-16s %s\n", d.ID, d.PaperRef, d.Title)
-				}
-			}
-		}
+		cli.ListExperiments(tcpIDs)
 	case *all:
 		for _, eid := range tcpIDs {
-			if err := runOne(eid, *duration, *quiet); err != nil {
-				fatal(err)
+			if err := c.RunExperiment(eid); err != nil {
+				c.Fatal(err)
 			}
 		}
 	case *id != "":
-		if err := runOne(resolve(*id), *duration, *quiet); err != nil {
-			fatal(err)
+		if err := c.RunExperiment(cli.Resolve(aliases, *id)); err != nil {
+			c.Fatal(err)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		c.Usage()
 	}
-}
-
-func resolve(name string) string {
-	aliases := map[string]string{
-		"fig14": "E09", "fig17": "E10", "fig18": "E11",
-		"quench": "E12", "ecn": "E12", "red": "E13",
-		"vegas": "E19", "interop": "E20", "atm": "E20",
-	}
-	if id, ok := aliases[strings.ToLower(name)]; ok {
-		return id
-	}
-	return strings.ToUpper(name)
-}
-
-func runOne(id string, d time.Duration, quiet bool) error {
-	def, ok := exp.Get(id)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (use -list)", id)
-	}
-	if !jsonMode {
-		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
-	}
-	res, err := def.Run(exp.Options{Duration: d, Quiet: quiet || jsonMode})
-	if err != nil {
-		return err
-	}
-	if jsonMode {
-		if res.Title == "" {
-			res.Title = def.Title
-		}
-		out, err := res.JSON()
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(out))
-		return nil
-	}
-	for _, f := range res.Figures {
-		fmt.Println(f)
-	}
-	for _, t := range res.Tables {
-		fmt.Println(t)
-	}
-	for _, n := range res.Notes {
-		fmt.Printf("  • %s\n", n)
-	}
-	fmt.Println()
-	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phantom-tcp:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,214 @@
+// Package cli is the flag surface and output plumbing shared by the
+// phantom-* commands. Each binary declares which of the common flags it
+// supports with a Flags mask; the flags parse into one Common value that
+// converts straight into exp.Options, so a flag added here (like
+// -scheduler) reaches every binary in one place instead of six.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// Flags selects which common flags a command registers.
+type Flags uint
+
+const (
+	// FlagDuration registers -duration: override simulated duration.
+	FlagDuration Flags = 1 << iota
+	// FlagQuiet registers -quiet: suppress figures, print metrics only.
+	FlagQuiet
+	// FlagJSON registers -json: machine-readable output.
+	FlagJSON
+	// FlagFilter registers -filter: regexp over experiment IDs.
+	FlagFilter
+	// FlagWorkers registers -j: fleet worker count.
+	FlagWorkers
+	// FlagQuick registers -quick: the reduced-duration golden profile.
+	FlagQuick
+	// FlagScheduler registers -scheduler: the engine calendar backend.
+	FlagScheduler
+)
+
+// Common holds the parsed common flags of one command invocation.
+type Common struct {
+	prog string
+
+	// Duration overrides every experiment's simulated duration (zero keeps
+	// each experiment's default).
+	Duration time.Duration
+	// Quiet suppresses figure rendering.
+	Quiet bool
+	// JSON switches output to machine-readable JSON.
+	JSON bool
+	// Filter is the raw -filter regexp source (empty matches everything).
+	Filter string
+	// Workers is the fleet worker count (0 = GOMAXPROCS).
+	Workers int
+	// Quick selects the reduced-duration golden profile.
+	Quick bool
+	// Scheduler is the validated engine backend selected by -scheduler.
+	Scheduler sim.SchedulerKind
+
+	schedulerName string
+}
+
+// New registers the selected common flags on the default flag set. Call it
+// before any command-specific flag.Xxx registrations, then Parse.
+func New(prog string, flags Flags) *Common {
+	c := &Common{prog: prog}
+	if flags&FlagDuration != 0 {
+		flag.DurationVar(&c.Duration, "duration", 0, "override simulated duration (e.g. 200ms)")
+	}
+	if flags&FlagQuiet != 0 {
+		flag.BoolVar(&c.Quiet, "quiet", false, "suppress figures, print summary metrics only")
+	}
+	if flags&FlagJSON != 0 {
+		flag.BoolVar(&c.JSON, "json", false, "emit machine-readable JSON")
+	}
+	if flags&FlagFilter != 0 {
+		flag.StringVar(&c.Filter, "filter", "", "regexp of experiment IDs to run (empty = all)")
+	}
+	if flags&FlagWorkers != 0 {
+		flag.IntVar(&c.Workers, "j", 0, "parallel workers (0 = GOMAXPROCS)")
+	}
+	if flags&FlagQuick != 0 {
+		flag.BoolVar(&c.Quick, "quick", false, "use the reduced-duration golden profile")
+	}
+	if flags&FlagScheduler != 0 {
+		flag.StringVar(&c.schedulerName, "scheduler", "",
+			"simulation engine calendar backend: heap or wheel (default heap); results are identical, only run cost differs")
+	}
+	return c
+}
+
+// Parse parses the command line and validates the common flags, exiting
+// with a usage error on invalid input.
+func (c *Common) Parse() {
+	flag.Parse()
+	kind, err := sim.ParseScheduler(c.schedulerName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: bad -scheduler: %v\n", c.prog, err)
+		os.Exit(2)
+	}
+	// Keep the zero value when the flag was absent or empty so configs fall
+	// through to the engine default.
+	if c.schedulerName != "" {
+		c.Scheduler = kind
+	}
+}
+
+// Options converts the parsed flags into experiment options.
+func (c *Common) Options() exp.Options {
+	return exp.Options{
+		Duration:  sim.Duration(c.Duration),
+		Quiet:     c.Quiet || c.JSON,
+		Scheduler: c.Scheduler,
+	}
+}
+
+// FilterRegexp compiles -filter, exiting with a usage error when invalid.
+func (c *Common) FilterRegexp() *regexp.Regexp {
+	re, err := regexp.Compile(c.Filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: bad -filter: %v\n", c.prog, err)
+		os.Exit(2)
+	}
+	return re
+}
+
+// Fatal prints err prefixed with the command name and exits 1.
+func (c *Common) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
+	os.Exit(1)
+}
+
+// Usage prints the default usage text and exits 2, for commands invoked
+// without a required mode flag.
+func (c *Common) Usage() {
+	flag.Usage()
+	os.Exit(2)
+}
+
+// Resolve maps an informal experiment name (fig3, table1) onto its ID via
+// the command's alias table; unknown names pass through upper-cased.
+func Resolve(aliases map[string]string, name string) string {
+	if id, ok := aliases[strings.ToLower(name)]; ok {
+		return id
+	}
+	return strings.ToUpper(name)
+}
+
+// ListExperiments prints the ID/paper-ref/title line for each listed ID.
+func ListExperiments(ids []string) {
+	for _, d := range exp.All() {
+		for _, id := range ids {
+			if d.ID == id {
+				fmt.Printf("%-4s %-18s %s\n", d.ID, d.PaperRef, d.Title)
+			}
+		}
+	}
+}
+
+// RunExperiment looks up id, runs it under the parsed options, and prints
+// the result in the command's selected format (JSON or figures + notes).
+func (c *Common) RunExperiment(id string) error {
+	def, ok := exp.Get(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	if !c.JSON {
+		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
+	}
+	res, err := exp.Execute(def, c.Options(), nil)
+	if err != nil {
+		return err
+	}
+	if c.JSON {
+		if res.Title == "" {
+			res.Title = def.Title
+		}
+		out, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	PrintResult(res, c.Quiet)
+	return nil
+}
+
+// PrintResult renders a result for the terminal: figures, tables, notes,
+// and — in quiet mode, where the figures are suppressed — the summary
+// metrics in stable key order.
+func PrintResult(res *exp.Result, quiet bool) {
+	for _, f := range res.Figures {
+		fmt.Println(f)
+	}
+	for _, t := range res.Tables {
+		fmt.Println(t)
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("  • %s\n", n)
+	}
+	if quiet {
+		keys := make([]string, 0, len(res.Summary))
+		for k := range res.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-32s %v\n", k, res.Summary[k])
+		}
+	}
+	fmt.Println()
+}

@@ -21,8 +21,8 @@ import (
 
 // ablationRun executes the on/off scenario under one estimator config and
 // returns (peak queue, tail fairness, utilization, MACR wobble).
-func ablationRun(cfg core.Config, d sim.Duration) (map[string]float64, error) {
-	n, err := buildAndRun(onOffMix(switchalg.NewPhantom(cfg), d), d)
+func ablationRun(cfg core.Config, d sim.Duration, o Options) (map[string]float64, error) {
+	n, err := buildAndRun(onOffMix(switchalg.NewPhantom(cfg), d), d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func init() {
 				name    string
 				disable bool
 			}{{"adaptive", false}, {"fixed", true}} {
-				m, err := ablationRun(core.Config{DisableAdaptiveGain: v.disable}, d)
+				m, err := ablationRun(core.Config{DisableAdaptiveGain: v.disable}, d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -94,7 +94,7 @@ func init() {
 			tb := plot.NewTable("A02: Δt sweep", "Δt", "peakQ", "jain", "util")
 			for _, dt := range []sim.Duration{250 * sim.Microsecond, 500 * sim.Microsecond,
 				sim.Millisecond, 2 * sim.Millisecond, 5 * sim.Millisecond} {
-				m, err := ablationRun(core.Config{Interval: dt}, d)
+				m, err := ablationRun(core.Config{Interval: dt}, d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -126,7 +126,7 @@ func init() {
 				{1.0 / 4, 1.0 / 4},   // symmetric fast
 			}
 			for _, v := range variants {
-				m, err := ablationRun(core.Config{AlphaInc: v.inc, AlphaDec: v.dec}, d)
+				m, err := ablationRun(core.Config{AlphaInc: v.inc, AlphaDec: v.dec}, d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -167,7 +167,7 @@ func init() {
 					Switches: 2,
 					Alg:      switchalg.NewPhantom(core.Config{}),
 					Sessions: specs,
-				}, d)
+				}, d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -240,7 +240,7 @@ func init() {
 					Switches: 2,
 					Alg:      switchalg.NewPhantom(core.Config{DisableGainNormalization: v.disable}),
 					Sessions: specs,
-				}, d)
+				}, d, o)
 				if err != nil {
 					return nil, err
 				}

@@ -22,8 +22,10 @@ func phantomTarget() float64 {
 	return atm.CPS(trunkBPS) * core.DefaultTargetUtilization
 }
 
-// buildAndRun constructs an ATM scenario and runs it for d.
-func buildAndRun(cfg scenario.ATMConfig, d sim.Duration) (*scenario.ATMNet, error) {
+// buildAndRun constructs an ATM scenario and runs it for d, applying the
+// run-shaping options (scheduler backend) to the config.
+func buildAndRun(cfg scenario.ATMConfig, d sim.Duration, o Options) (*scenario.ATMNet, error) {
+	cfg.Scheduler = o.Scheduler
 	n, err := scenario.BuildATM(cfg)
 	if err != nil {
 		return nil, err
@@ -113,7 +115,7 @@ func init() {
 					{Name: "s1", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 					{Name: "s2", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 				},
-			}, o.duration(400*sim.Millisecond))
+			}, o.duration(400*sim.Millisecond), o)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +149,7 @@ func init() {
 					{Name: "onoff2", Entry: 0, Exit: 1, Pattern: workload.PeriodicOnOff{
 						Start: sim.Time(d / 2), On: sim.Duration(d / 8), Off: sim.Duration(d / 8)}},
 				},
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +189,7 @@ func init() {
 				Switches: 2,
 				Alg:      switchalg.NewPhantom(core.Config{}),
 				Sessions: specs,
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -221,7 +223,7 @@ func init() {
 					{Name: "farther", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 				},
 				AccessDelay: 10 * sim.Microsecond,
-			}, o.duration(sim.Second))
+			}, o.duration(sim.Second), o)
 			if err != nil {
 				return nil, err
 			}
@@ -247,7 +249,7 @@ func init() {
 					{Name: "short1", Entry: 1, Exit: 2, Pattern: workload.Greedy{}},
 					{Name: "short2", Entry: 2, Exit: 3, Pattern: workload.Greedy{}},
 				},
-			}, o.duration(sim.Second))
+			}, o.duration(sim.Second), o)
 			if err != nil {
 				return nil, err
 			}
@@ -292,7 +294,7 @@ func init() {
 						{Name: "s1", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 						{Name: "s2", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 					},
-				}, o.duration(400*sim.Millisecond))
+				}, o.duration(400*sim.Millisecond), o)
 				if err != nil {
 					return nil, err
 				}
@@ -329,7 +331,7 @@ func init() {
 					{Name: "s1", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 					{Name: "s2", Entry: 0, Exit: 1, Pattern: workload.Greedy{}},
 				},
-			}, o.duration(800*sim.Millisecond))
+			}, o.duration(800*sim.Millisecond), o)
 			if err != nil {
 				return nil, err
 			}
@@ -363,7 +365,7 @@ func init() {
 						Switches: 2,
 						Alg:      switchalg.NewPhantom(core.Config{UtilizationFactor: u}),
 						Sessions: specs,
-					}, o.duration(600*sim.Millisecond))
+					}, o.duration(600*sim.Millisecond), o)
 					if err != nil {
 						return nil, err
 					}

@@ -45,14 +45,14 @@ func baselineResult(id string, alg switchalg.Factory, o Options, def sim.Duratio
 	res := &Result{ID: id, Summary: map[string]float64{}}
 	d := o.duration(def)
 
-	greedy, err := buildAndRun(twoGreedy(alg), d)
+	greedy, err := buildAndRun(twoGreedy(alg), d, o)
 	if err != nil {
 		return nil, err
 	}
 	atmFigures(greedy, res, o)
 	atmSummary(greedy, res)
 
-	bursty, err := buildAndRun(onOffMix(alg, d), d)
+	bursty, err := buildAndRun(onOffMix(alg, d), d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +117,7 @@ func init() {
 				util float64
 			}
 			runOne := func(alg switchalg.Factory) (outcome, *scenario.ATMNet, error) {
-				n, err := buildAndRun(onOffMix(alg, d), d)
+				n, err := buildAndRun(onOffMix(alg, d), d, o)
 				if err != nil {
 					return outcome{}, nil, err
 				}
@@ -185,7 +185,7 @@ func init() {
 			tb := plot.NewTable("E17: constant-space algorithms on two greedy sessions",
 				"alg", "jain", "util", "peakQ", "meanQ", "p99Q", "convMs")
 			for _, a := range algs {
-				n, err := buildAndRun(twoGreedy(a.f), d)
+				n, err := buildAndRun(twoGreedy(a.f), d, o)
 				if err != nil {
 					return nil, err
 				}

@@ -28,6 +28,11 @@ type Options struct {
 	// the fleet runner derives a stable non-zero Seed per (experiment,
 	// sweep index) so that future stochastic sweeps stay reproducible.
 	Seed uint64
+	// Scheduler selects the simulation engine's calendar backend (heap or
+	// wheel) for every engine the experiment builds. It tunes run cost
+	// only: results are bit-identical across backends, which the golden
+	// snapshots verify. Empty picks the default.
+	Scheduler sim.SchedulerKind
 }
 
 // Result is an experiment's output.
@@ -42,16 +47,26 @@ type Result struct {
 	Notes []string
 }
 
-// JSON renders the result as indented JSON: id, title, summary metrics and
-// notes (figures and tables are terminal artifacts and are omitted). The
-// CLIs expose it behind their -json flag for scripted consumption.
+// SchemaVersion identifies the JSON layout emitted by Result.JSON and by
+// phantom-suite -json. Bump it on any breaking change to field names or
+// meanings so scripted consumers can detect incompatibility instead of
+// silently misreading. History: 1 — initial versioned schema
+// (schema_version, id, title, summary, notes; suite reports additionally
+// carry schema_version at the top level beside duration/results).
+const SchemaVersion = 1
+
+// JSON renders the result as indented JSON: schema version, id, title,
+// summary metrics and notes (figures and tables are terminal artifacts and
+// are omitted). The CLIs expose it behind their -json flag for scripted
+// consumption.
 func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(struct {
-		ID      string             `json:"id"`
-		Title   string             `json:"title,omitempty"`
-		Summary map[string]float64 `json:"summary"`
-		Notes   []string           `json:"notes"`
-	}{r.ID, r.Title, r.Summary, r.Notes}, "", "  ")
+		SchemaVersion int                `json:"schema_version"`
+		ID            string             `json:"id"`
+		Title         string             `json:"title,omitempty"`
+		Summary       map[string]float64 `json:"summary"`
+		Notes         []string           `json:"notes"`
+	}{SchemaVersion, r.ID, r.Title, r.Summary, r.Notes}, "", "  ")
 }
 
 // addf appends a formatted note.

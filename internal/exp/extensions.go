@@ -50,8 +50,9 @@ func init() {
 
 			// Through the ATM cloud with Phantom on the trunks.
 			cloud, err := scenario.BuildTCPOverATM(scenario.InteropConfig{
-				Alg:   switchalg.NewPhantom(core.Config{}),
-				Flows: flows,
+				Alg:       switchalg.NewPhantom(core.Config{}),
+				Flows:     flows,
+				Scheduler: o.Scheduler,
 			})
 			if err != nil {
 				return nil, err
@@ -63,7 +64,7 @@ func init() {
 			routed, err := runTCP(scenario.TCPConfig{
 				Routers: 2, TrunkRateBPS: 150e6, TrunkBuffer: 600,
 				Flows: flows,
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +133,7 @@ func init() {
 				{"ERICA", "O(#VC)", switchalg.NewERICA()},
 				{"ExactMaxMin", "O(#VC)", switchalg.NewExactMaxMin()},
 			} {
-				n, err := buildAndRun(parkingLot(v.f), d)
+				n, err := buildAndRun(parkingLot(v.f), d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -184,7 +185,7 @@ func init() {
 					{Name: "edge2", Entry: 2, Exit: 3, Pattern: workload.Greedy{}},
 					{Name: "tail", Entry: 1, Exit: 3, Pattern: workload.Greedy{}},
 				},
-			}, o.duration(sim.Second))
+			}, o.duration(sim.Second), o)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +239,7 @@ func init() {
 					Switches: 2,
 					Alg:      switchalg.NewPhantom(core.Config{}),
 					Sessions: specs,
-				}, d)
+				}, d, o)
 				if err != nil {
 					return nil, err
 				}
@@ -293,7 +294,7 @@ func init() {
 				}
 			}
 
-			dropTail, err := runTCP(scenario.TCPConfig{Routers: 2, Flows: vegasFlows()}, d)
+			dropTail, err := runTCP(scenario.TCPConfig{Routers: 2, Flows: vegasFlows()}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -302,7 +303,7 @@ func init() {
 				Disc: func() ip.Discipline {
 					return ip.NewPhantomDiscipline(ip.SelectiveDiscard, core.Config{})
 				},
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}

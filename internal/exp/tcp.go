@@ -20,8 +20,10 @@ func fig14Flows() []scenario.TCPFlowSpec {
 	}
 }
 
-// runTCP builds and runs a TCP scenario.
-func runTCP(cfg scenario.TCPConfig, d sim.Duration) (*scenario.TCPNet, error) {
+// runTCP builds and runs a TCP scenario, applying the run-shaping options
+// (scheduler backend) to the config.
+func runTCP(cfg scenario.TCPConfig, d sim.Duration, o Options) (*scenario.TCPNet, error) {
+	cfg.Scheduler = o.Scheduler
 	n, err := scenario.BuildTCP(cfg)
 	if err != nil {
 		return nil, err
@@ -74,7 +76,7 @@ func init() {
 			res := &Result{ID: "E09", Summary: map[string]float64{}}
 			d := o.duration(20 * sim.Second)
 
-			dropTail, err := runTCP(scenario.TCPConfig{Routers: 2, Flows: fig14Flows()}, d)
+			dropTail, err := runTCP(scenario.TCPConfig{Routers: 2, Flows: fig14Flows()}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +85,7 @@ func init() {
 				Disc: func() ip.Discipline {
 					return ip.NewPhantomDiscipline(ip.SelectiveDiscard, core.Config{})
 				},
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -121,7 +123,7 @@ func init() {
 				{Name: "cross1", Entry: 1, Exit: 2, AccessDelay: sim.Millisecond},
 				{Name: "cross2", Entry: 2, Exit: 3, AccessDelay: sim.Millisecond},
 			}
-			dropTail, err := runTCP(scenario.TCPConfig{Routers: 4, Flows: flows}, d)
+			dropTail, err := runTCP(scenario.TCPConfig{Routers: 4, Flows: flows}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +132,7 @@ func init() {
 				Disc: func() ip.Discipline {
 					return ip.NewPhantomDiscipline(ip.SelectiveDiscard, core.Config{})
 				},
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -168,6 +170,7 @@ func init() {
 					disc = ip.NewPhantomDiscipline(ip.SelectiveDiscard, core.Config{})
 					return disc
 				},
+				Scheduler: o.Scheduler,
 			})
 			if err != nil {
 				return nil, err
@@ -232,6 +235,7 @@ func init() {
 					Disc: func() ip.Discipline {
 						return ip.NewPhantomDiscipline(mode, core.Config{})
 					},
+					Scheduler: o.Scheduler,
 				})
 				if err != nil {
 					return nil, err
@@ -272,7 +276,7 @@ func init() {
 			plain, err := runTCP(scenario.TCPConfig{
 				Routers: 2, Flows: fig14Flows(),
 				Disc: func() ip.Discipline { return ip.NewRED(11) },
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}
@@ -281,7 +285,7 @@ func init() {
 				Disc: func() ip.Discipline {
 					return ip.NewPhantomDiscipline(ip.SelectiveRED, core.Config{})
 				},
-			}, d)
+			}, d, o)
 			if err != nil {
 				return nil, err
 			}

@@ -61,6 +61,10 @@ type ATMConfig struct {
 	// Trace, if non-nil, records rate changes, drops and fair-share ticks.
 	Trace    *trace.Tracer
 	Sessions []ATMSessionSpec
+	// Scheduler selects the engine's calendar backend (heap or wheel);
+	// empty picks the default. The choice never changes results — both
+	// backends honor the same (time, seq) order — only run cost.
+	Scheduler sim.SchedulerKind
 }
 
 func (c *ATMConfig) setDefaults() {
@@ -147,7 +151,11 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			len(cfg.TrunkRatesBPS), cfg.Switches-1)
 	}
 
-	e := sim.NewEngine()
+	sched, err := sim.ParseScheduler(string(cfg.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &ATMNet{Engine: e, Config: cfg}
 
 	// Switches.

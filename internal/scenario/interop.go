@@ -30,6 +30,9 @@ type InteropConfig struct {
 	// SampleEvery is the series sampling period (default 10 ms).
 	SampleEvery sim.Duration
 	Flows       []TCPFlowSpec // Entry/Exit are ignored: the cloud is one hop
+	// Scheduler selects the engine's calendar backend (heap or wheel);
+	// empty picks the default. Results are identical either way.
+	Scheduler sim.SchedulerKind
 }
 
 func (c *InteropConfig) setDefaults() {
@@ -71,7 +74,11 @@ func BuildTCPOverATM(cfg InteropConfig) (*InteropNet, error) {
 		return nil, fmt.Errorf("scenario: no flows")
 	}
 
-	e := sim.NewEngine()
+	sched, err := sim.ParseScheduler(string(cfg.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &InteropNet{Engine: e, Config: cfg}
 	s0, s1 := atmnet.NewSwitch("S0"), atmnet.NewSwitch("S1")
 

@@ -49,6 +49,9 @@ type TCPConfig struct {
 	// directions) for failure testing. Zero disables injection.
 	TrunkLossRate float64
 	Flows         []TCPFlowSpec
+	// Scheduler selects the engine's calendar backend (heap or wheel);
+	// empty picks the default. Results are identical either way.
+	Scheduler sim.SchedulerKind
 }
 
 func (c *TCPConfig) setDefaults() {
@@ -111,7 +114,11 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 		}
 	}
 
-	e := sim.NewEngine()
+	sched, err := sim.ParseScheduler(string(cfg.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &TCPNet{Engine: e, Config: cfg}
 	for i := 0; i < cfg.Routers; i++ {
 		n.Routers = append(n.Routers, ip.NewRouter(fmt.Sprintf("R%d", i)))

@@ -1,9 +1,12 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
+
+// maxTime is the end of simulated time; Run uses it as its deadline.
+const maxTime = Time(math.MaxInt64)
 
 // Handler is a callback invoked when an event fires. It receives the engine
 // so it can schedule follow-up events without capturing it in a closure.
@@ -11,58 +14,56 @@ type Handler func(e *Engine)
 
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant: earlier-scheduled events fire first, which is what
-// makes runs deterministic.
+// makes runs deterministic. Cells are pooled per engine: after an event
+// fires (or a cancelled event is drained) its cell goes back on the free
+// list and gen is bumped so outstanding EventRefs go stale instead of
+// touching the cell's next occupant.
 type event struct {
 	at      Time
 	seq     uint64
+	gen     uint64
 	fn      Handler
 	stopped bool
-	index   int // position in the heap, -1 when popped
+	index   int // position in the heap backend, -1 when popped
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
-// value is inert: cancelling it is a no-op.
-type EventRef struct{ ev *event }
+// value is inert: cancelling it is a no-op. A ref expires when its event
+// fires (or a cancelled cell is drained): cancelling an expired ref is a
+// no-op even though the engine may have recycled the underlying cell for a
+// later event.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event (or, for a ticker from Every, all future ticks)
-// from firing. Cancelling twice, or cancelling a zero ref, is a harmless
-// no-op. It reports whether this call transitioned the event to cancelled.
+// from firing. Cancelling twice, cancelling a zero ref, or cancelling after
+// the event already fired is a harmless no-op. It reports whether this call
+// transitioned the event to cancelled.
 func (r EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.stopped {
+	if r.ev == nil || r.ev.gen != r.gen || r.ev.stopped {
 		return false
 	}
 	r.ev.stopped = true
 	return true
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// Option configures an Engine at construction.
+type Option func(e *Engine)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// WithScheduler selects the calendar backend: SchedulerHeap (the default)
+// or SchedulerWheel. Both honor the exact (time, seq) ordering contract, so
+// a run is bit-identical under either; they differ only in cost. Unknown
+// kinds panic — validate external input with ParseScheduler first.
+func WithScheduler(kind SchedulerKind) Option {
+	if _, err := newScheduler(kind); err != nil {
+		panic(err.Error())
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return func(e *Engine) {
+		s, _ := newScheduler(kind)
+		e.sched = s
+	}
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -71,28 +72,42 @@ func (h *eventHeap) Pop() any {
 //
 // The concurrency contract is one-engine-per-goroutine: an Engine and
 // everything scheduled on it must be driven by a single goroutine for the
-// engine's whole lifetime. Engines share no state, so any number of them may
-// run in parallel on different goroutines (the fleet runner in
-// internal/runner runs one experiment — and therefore one engine — per
-// worker). What is forbidden is two goroutines touching the same engine:
-// there is deliberately no internal locking, because a lock would serialize
-// the hot path every experiment spends all its time in and would still not
-// make interleaved event execution meaningful. Run and RunUntil enforce the
+// engine's whole lifetime. Engines share no state — the event-cell pool is
+// per engine for exactly this reason — so any number of them may run in
+// parallel on different goroutines (the fleet runner in internal/runner
+// runs one experiment — and therefore one engine — per worker). What is
+// forbidden is two goroutines touching the same engine: there is
+// deliberately no internal locking, because a lock would serialize the hot
+// path every experiment spends all its time in and would still not make
+// interleaved event execution meaningful. Run and RunUntil enforce the
 // reentrant half of the contract by panicking when called while a run is
 // already in progress on the same engine; the cross-goroutine half is left
 // to the race detector, which CI runs on every test.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	sched   Scheduler
 	seq     uint64
 	fired   uint64
 	stopped bool
 	running bool
+	// free is the event-cell pool. Scheduling pops a cell, firing (or
+	// draining a cancelled event) pushes it back, so the At/After/Every
+	// hot path stops allocating once the pool warms to the peak number of
+	// simultaneously pending events.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
-func NewEngine() *Engine {
-	return &Engine{}
+// With no options it uses the default (heap) scheduler.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.sched == nil {
+		e.sched = newHeapScheduler()
+	}
+	return e
 }
 
 // Now returns the current simulation time.
@@ -100,11 +115,34 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still scheduled (including cancelled
 // events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.sched.Len() }
 
 // Fired returns the number of events executed so far. Useful for cost
 // accounting in benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// SchedulerName reports which calendar backend this engine runs on.
+func (e *Engine) SchedulerName() string { return e.sched.Name() }
+
+// alloc takes a cell from the pool, or makes one when the pool is dry.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{index: -1}
+}
+
+// recycle expires outstanding refs to ev and returns its cell to the pool.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.stopped = false
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in an event-driven model, and silently clamping
@@ -116,10 +154,11 @@ func (e *Engine) At(t Time, fn Handler) EventRef {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventRef{ev: ev}
+	e.sched.schedule(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative delays panic via At.
@@ -135,8 +174,10 @@ func (e *Engine) Every(period Duration, fn Handler) EventRef {
 		panic("sim: non-positive period")
 	}
 	// The ticker reschedules itself through a stable cell so that Cancel on
-	// the original ref stops all future ticks, not just the next one.
-	cell := &event{stopped: false, index: -1}
+	// the original ref stops all future ticks, not just the next one. The
+	// cell never enters the scheduler (each tick is its own pooled event),
+	// so it is deliberately not pool-allocated: it must outlive every tick.
+	cell := &event{index: -1}
 	var tick Handler
 	tick = func(en *Engine) {
 		if cell.stopped {
@@ -149,7 +190,7 @@ func (e *Engine) Every(period Duration, fn Handler) EventRef {
 		en.After(period, tick)
 	}
 	e.After(period, tick)
-	return EventRef{ev: cell}
+	return EventRef{ev: cell, gen: cell.gen}
 }
 
 // Stop halts the run after the currently executing event returns.
@@ -168,49 +209,48 @@ func (e *Engine) enter() {
 
 func (e *Engine) leave() { e.running = false }
 
+// runTo is the shared event loop: execute events in (time, seq) order until
+// the calendar holds nothing at or before deadline, or Stop is called.
+func (e *Engine) runTo(deadline Time) uint64 {
+	e.enter()
+	defer e.leave()
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		next := e.sched.next(deadline)
+		if next == nil {
+			break
+		}
+		e.sched.pop()
+		if next.stopped {
+			e.recycle(next)
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		fn := next.fn
+		// Recycle before firing: the handler is the cell's last user, and
+		// returning it first lets fn's own follow-up schedule reuse it.
+		e.recycle(next)
+		fn(e)
+	}
+	return e.fired - start
+}
+
 // RunUntil executes events in order until the calendar empties, Stop is
 // called, or the next event lies beyond deadline. The clock finishes exactly
 // at deadline if the run was cut short by it, so successive RunUntil calls
 // compose. It returns the number of events fired by this call.
 func (e *Engine) RunUntil(deadline Time) uint64 {
-	e.enter()
-	defer e.leave()
-	start := e.fired
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > deadline {
-			break
-		}
-		heap.Pop(&e.queue)
-		if next.stopped {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn(e)
-	}
+	n := e.runTo(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return e.fired - start
+	return n
 }
 
 // Run executes every remaining event. Use RunUntil for open-ended sources
 // (periodic timers never drain the calendar).
 func (e *Engine) Run() uint64 {
-	e.enter()
-	defer e.leave()
-	start := e.fired
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*event)
-		if next.stopped {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn(e)
-	}
-	return e.fired - start
+	return e.runTo(maxTime)
 }

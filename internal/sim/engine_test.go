@@ -6,63 +6,136 @@ import (
 	"testing/quick"
 )
 
+// forEachScheduler runs the test body once per calendar backend: every
+// engine behavior must hold under both, or the backends are not actually
+// interchangeable.
+func forEachScheduler(t *testing.T, body func(t *testing.T, newEngine func() *Engine)) {
+	t.Helper()
+	for _, kind := range SchedulerKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			body(t, func() *Engine { return NewEngine(WithScheduler(kind)) })
+		})
+	}
+}
+
 func TestEngineRunsEventsInTimeOrder(t *testing.T) {
-	e := NewEngine()
-	var got []int
-	e.At(30, func(*Engine) { got = append(got, 3) })
-	e.At(10, func(*Engine) { got = append(got, 1) })
-	e.At(20, func(*Engine) { got = append(got, 2) })
-	e.Run()
-	want := []int{1, 2, 3}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("order = %v, want %v", got, want)
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []int
+		e.At(30, func(*Engine) { got = append(got, 3) })
+		e.At(10, func(*Engine) { got = append(got, 1) })
+		e.At(20, func(*Engine) { got = append(got, 2) })
+		e.Run()
+		want := []int{1, 2, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order = %v, want %v", got, want)
+			}
 		}
-	}
-	if e.Now() != 30 {
-		t.Fatalf("Now() = %v, want 30", e.Now())
-	}
+		if e.Now() != 30 {
+			t.Fatalf("Now() = %v, want 30", e.Now())
+		}
+	})
 }
 
 func TestEngineTieBreakIsInsertionOrder(t *testing.T) {
-	e := NewEngine()
-	var got []int
-	for i := 0; i < 10; i++ {
-		i := i
-		e.At(5, func(*Engine) { got = append(got, i) })
-	}
-	e.Run()
-	for i := range got {
-		if got[i] != i {
-			t.Fatalf("same-time events fired out of insertion order: %v", got)
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.At(5, func(*Engine) { got = append(got, i) })
 		}
-	}
+		e.Run()
+		for i := range got {
+			if got[i] != i {
+				t.Fatalf("same-time events fired out of insertion order: %v", got)
+			}
+		}
+	})
+}
+
+// TestTieBreakAcrossWheelLevels pins the cross-level seq tie-break: two
+// events for the same instant, the first scheduled far ahead (filed at a
+// coarse wheel level) and the second scheduled at the last moment (filed at
+// level 0), must still fire in insertion order. This is the case a naive
+// wheel gets wrong by popping level 0 without cascading equal-time slots.
+func TestTieBreakAcrossWheelLevels(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []int
+		const target = Time(1 << 20)
+		e.At(target, func(*Engine) { got = append(got, 0) }) // coarse level
+		e.At(target-3, func(en *Engine) {
+			en.At(target, func(*Engine) { got = append(got, 2) }) // level 0
+			got = append(got, 1)
+		})
+		e.At(target, func(*Engine) { got = append(got, 3) }) // coarse level
+		e.Run()
+		want := []int{1, 0, 3, 2} // seq order at the shared instant: 0, 3, then 2
+		if len(got) != len(want) {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fired %v, want %v", got, want)
+			}
+		}
+	})
 }
 
 func TestEngineSchedulingFromHandler(t *testing.T) {
-	e := NewEngine()
-	var trace []Time
-	e.At(10, func(en *Engine) {
-		trace = append(trace, en.Now())
-		en.After(5, func(en *Engine) { trace = append(trace, en.Now()) })
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var trace []Time
+		e.At(10, func(en *Engine) {
+			trace = append(trace, en.Now())
+			en.After(5, func(en *Engine) { trace = append(trace, en.Now()) })
+		})
+		e.Run()
+		if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+			t.Fatalf("trace = %v, want [10 15]", trace)
+		}
 	})
-	e.Run()
-	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
-		t.Fatalf("trace = %v, want [10 15]", trace)
-	}
+}
+
+func TestEngineZeroDelaySchedulingFromHandler(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var trace []int
+		e.At(10, func(en *Engine) {
+			trace = append(trace, 0)
+			en.After(0, func(*Engine) { trace = append(trace, 1) })
+			en.At(10, func(*Engine) { trace = append(trace, 2) })
+		})
+		e.At(10, func(*Engine) { trace = append(trace, 3) })
+		e.Run()
+		want := []int{0, 3, 1, 2}
+		if len(trace) != len(want) {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+		for i := range want {
+			if trace[i] != want[i] {
+				t.Fatalf("trace = %v, want %v", trace, want)
+			}
+		}
+	})
 }
 
 func TestEngineSchedulingInPastPanics(t *testing.T) {
-	e := NewEngine()
-	e.At(10, func(en *Engine) {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
-			}
-		}()
-		en.At(5, func(*Engine) {})
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		e.At(10, func(en *Engine) {
+			defer func() {
+				if recover() == nil {
+					t.Error("scheduling in the past did not panic")
+				}
+			}()
+			en.At(5, func(*Engine) {})
+		})
+		e.Run()
 	})
-	e.Run()
 }
 
 func TestEngineNilHandlerPanics(t *testing.T) {
@@ -74,205 +147,361 @@ func TestEngineNilHandlerPanics(t *testing.T) {
 	NewEngine().At(0, nil)
 }
 
+func TestUnknownSchedulerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithScheduler on an unknown kind did not panic")
+		}
+	}()
+	NewEngine(WithScheduler(SchedulerKind("calendar")))
+}
+
+func TestParseScheduler(t *testing.T) {
+	for name, want := range map[string]SchedulerKind{
+		"": SchedulerHeap, "heap": SchedulerHeap, "wheel": SchedulerWheel,
+	} {
+		got, err := ParseScheduler(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScheduler(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseScheduler("splay"); err == nil {
+		t.Error("ParseScheduler accepted an unknown backend")
+	}
+}
+
+func TestSchedulerName(t *testing.T) {
+	if got := NewEngine().SchedulerName(); got != "heap" {
+		t.Errorf("default SchedulerName() = %q, want heap", got)
+	}
+	if got := NewEngine(WithScheduler(SchedulerWheel)).SchedulerName(); got != "wheel" {
+		t.Errorf("wheel SchedulerName() = %q", got)
+	}
+}
+
 func TestEventCancel(t *testing.T) {
-	e := NewEngine()
-	fired := false
-	ref := e.At(10, func(*Engine) { fired = true })
-	if !ref.Cancel() {
-		t.Error("first Cancel returned false")
-	}
-	if ref.Cancel() {
-		t.Error("second Cancel returned true")
-	}
-	e.Run()
-	if fired {
-		t.Error("cancelled event fired")
-	}
-	if (EventRef{}).Cancel() {
-		t.Error("zero-ref Cancel returned true")
-	}
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		fired := false
+		ref := e.At(10, func(*Engine) { fired = true })
+		if !ref.Cancel() {
+			t.Error("first Cancel returned false")
+		}
+		if ref.Cancel() {
+			t.Error("second Cancel returned true")
+		}
+		e.Run()
+		if fired {
+			t.Error("cancelled event fired")
+		}
+		if (EventRef{}).Cancel() {
+			t.Error("zero-ref Cancel returned true")
+		}
+	})
+}
+
+// TestCancelAfterDrain pins the expiry semantics: once an event has fired
+// (or a cancelled cell has been drained by a run), its ref is stale and
+// Cancel reports false instead of touching the recycled cell.
+func TestCancelAfterDrain(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		ref := e.At(10, func(*Engine) {})
+		e.Run()
+		if ref.Cancel() {
+			t.Error("Cancel after the event fired returned true")
+		}
+
+		cancelled := e.At(20, func(*Engine) {})
+		cancelled.Cancel()
+		e.RunUntil(30) // drains the cancelled cell
+		if cancelled.Cancel() {
+			t.Error("Cancel after the cancelled cell drained returned true")
+		}
+	})
+}
+
+// TestStaleRefDoesNotCancelRecycledCell is the pooling safety property: a
+// ref left over from a fired event must not cancel the unrelated event that
+// reuses its cell.
+func TestStaleRefDoesNotCancelRecycledCell(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		stale := e.At(1, func(*Engine) {})
+		e.RunUntil(5)
+
+		fired := false
+		fresh := e.At(10, func(*Engine) { fired = true }) // reuses the pooled cell
+		if stale.Cancel() {
+			t.Error("stale ref claimed to cancel")
+		}
+		e.Run()
+		if !fired {
+			t.Error("stale ref cancelled the recycled cell's new event")
+		}
+		_ = fresh
+	})
+}
+
+// TestCancelFromSameInstant cancels an event from another event scheduled
+// for the very same timestamp (earlier seq), under both backends.
+func TestCancelFromSameInstant(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		fired := false
+		var victim EventRef
+		e.At(10, func(*Engine) { victim.Cancel() })
+		victim = e.At(10, func(*Engine) { fired = true })
+		e.Run()
+		if fired {
+			t.Error("event cancelled at its own instant still fired")
+		}
+	})
 }
 
 func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
-	e := NewEngine()
-	e.At(10, func(*Engine) {})
-	e.At(100, func(*Engine) {})
-	n := e.RunUntil(50)
-	if n != 1 {
-		t.Fatalf("fired %d events, want 1", n)
-	}
-	if e.Now() != 50 {
-		t.Fatalf("Now() = %v, want 50", e.Now())
-	}
-	n = e.RunUntil(100)
-	if n != 1 || e.Now() != 100 {
-		t.Fatalf("second leg fired=%d now=%v, want 1, 100", n, e.Now())
-	}
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		e.At(10, func(*Engine) {})
+		e.At(100, func(*Engine) {})
+		n := e.RunUntil(50)
+		if n != 1 {
+			t.Fatalf("fired %d events, want 1", n)
+		}
+		if e.Now() != 50 {
+			t.Fatalf("Now() = %v, want 50", e.Now())
+		}
+		n = e.RunUntil(100)
+		if n != 1 || e.Now() != 100 {
+			t.Fatalf("second leg fired=%d now=%v, want 1, 100", n, e.Now())
+		}
+	})
+}
+
+// TestScheduleBetweenDeadlineAndNextEvent covers the deadline gap: after
+// RunUntil stops short of the next pending event, new events may land in
+// the gap and must still fire in order. (This is the case that forbids a
+// wheel from advancing its cursor past the deadline while peeking.)
+func TestScheduleBetweenDeadlineAndNextEvent(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var trace []Time
+		rec := func(en *Engine) { trace = append(trace, en.Now()) }
+		e.At(1000, rec)
+		e.RunUntil(500)
+		e.At(600, rec) // between the deadline and the pending event
+		e.Run()
+		if len(trace) != 2 || trace[0] != 600 || trace[1] != 1000 {
+			t.Fatalf("trace = %v, want [600 1000]", trace)
+		}
+	})
 }
 
 func TestRunUntilComposes(t *testing.T) {
-	// Running in two legs must observe exactly the same events as one leg.
-	build := func() (*Engine, *[]Time) {
-		e := NewEngine()
-		var trace []Time
-		for _, at := range []Time{5, 15, 25, 35} {
-			at := at
-			e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		// Running in two legs must observe exactly the same events as one leg.
+		build := func() (*Engine, *[]Time) {
+			e := newEngine()
+			var trace []Time
+			for _, at := range []Time{5, 15, 25, 35} {
+				at := at
+				e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+			}
+			return e, &trace
 		}
-		return e, &trace
-	}
-	e1, t1 := build()
-	e1.RunUntil(40)
-	e2, t2 := build()
-	e2.RunUntil(20)
-	e2.RunUntil(40)
-	if len(*t1) != len(*t2) {
-		t.Fatalf("split run saw %d events, single run saw %d", len(*t2), len(*t1))
-	}
-	for i := range *t1 {
-		if (*t1)[i] != (*t2)[i] {
-			t.Fatalf("split run diverged at %d: %v vs %v", i, *t1, *t2)
+		e1, t1 := build()
+		e1.RunUntil(40)
+		e2, t2 := build()
+		e2.RunUntil(20)
+		e2.RunUntil(40)
+		if len(*t1) != len(*t2) {
+			t.Fatalf("split run saw %d events, single run saw %d", len(*t2), len(*t1))
 		}
-	}
+		for i := range *t1 {
+			if (*t1)[i] != (*t2)[i] {
+				t.Fatalf("split run diverged at %d: %v vs %v", i, *t1, *t2)
+			}
+		}
+	})
 }
 
 func TestEveryTicksAndCancels(t *testing.T) {
-	e := NewEngine()
-	var ticks []Time
-	ref := e.Every(10, func(en *Engine) { ticks = append(ticks, en.Now()) })
-	e.RunUntil(45)
-	if len(ticks) != 4 {
-		t.Fatalf("got %d ticks, want 4: %v", len(ticks), ticks)
-	}
-	ref.Cancel()
-	e.RunUntil(100)
-	if len(ticks) != 4 {
-		t.Fatalf("ticker kept firing after Cancel: %v", ticks)
-	}
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var ticks []Time
+		ref := e.Every(10, func(en *Engine) { ticks = append(ticks, en.Now()) })
+		e.RunUntil(45)
+		if len(ticks) != 4 {
+			t.Fatalf("got %d ticks, want 4: %v", len(ticks), ticks)
+		}
+		ref.Cancel()
+		e.RunUntil(100)
+		if len(ticks) != 4 {
+			t.Fatalf("ticker kept firing after Cancel: %v", ticks)
+		}
+	})
 }
 
 func TestEveryCancelFromWithinTick(t *testing.T) {
-	e := NewEngine()
-	count := 0
-	var ref EventRef
-	ref = e.Every(10, func(*Engine) {
-		count++
-		if count == 3 {
-			ref.Cancel()
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		count := 0
+		var ref EventRef
+		ref = e.Every(10, func(*Engine) {
+			count++
+			if count == 3 {
+				ref.Cancel()
+			}
+		})
+		e.RunUntil(1000)
+		if count != 3 {
+			t.Fatalf("count = %d, want 3", count)
 		}
 	})
-	e.RunUntil(1000)
-	if count != 3 {
-		t.Fatalf("count = %d, want 3", count)
-	}
+}
+
+// TestEveryCancelBetweenRuns cancels a ticker while the engine is parked
+// between RunUntil legs: the already-scheduled next tick must be suppressed
+// (it is drained, never fired), and no further ticks may appear.
+func TestEveryCancelBetweenRuns(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		count := 0
+		ref := e.Every(10, func(*Engine) { count++ })
+		e.RunUntil(35) // ticks at 10, 20, 30
+		if count != 3 {
+			t.Fatalf("count = %d before cancel, want 3", count)
+		}
+		if !ref.Cancel() {
+			t.Fatal("Cancel on a live ticker returned false")
+		}
+		if ref.Cancel() {
+			t.Fatal("second Cancel on the ticker returned true")
+		}
+		e.Run()
+		if count != 3 {
+			t.Fatalf("ticker fired after cancel-between-runs: count = %d", count)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("cancelled ticker left %d pending events", e.Pending())
+		}
+	})
 }
 
 func TestStopHaltsRun(t *testing.T) {
-	e := NewEngine()
-	fired := 0
-	e.At(10, func(en *Engine) { fired++; en.Stop() })
-	e.At(20, func(*Engine) { fired++ })
-	e.RunUntil(100)
-	if fired != 1 {
-		t.Fatalf("fired = %d, want 1 (Stop should halt)", fired)
-	}
-	// A subsequent run resumes.
-	e.RunUntil(100)
-	if fired != 2 {
-		t.Fatalf("fired = %d after resume, want 2", fired)
-	}
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		fired := 0
+		e.At(10, func(en *Engine) { fired++; en.Stop() })
+		e.At(20, func(*Engine) { fired++ })
+		e.RunUntil(100)
+		if fired != 1 {
+			t.Fatalf("fired = %d, want 1 (Stop should halt)", fired)
+		}
+		// A subsequent run resumes.
+		e.RunUntil(100)
+		if fired != 2 {
+			t.Fatalf("fired = %d after resume, want 2", fired)
+		}
+	})
 }
 
 func TestFiredCounter(t *testing.T) {
-	e := NewEngine()
-	for i := 0; i < 7; i++ {
-		e.At(Time(i), func(*Engine) {})
-	}
-	e.Run()
-	if e.Fired() != 7 {
-		t.Fatalf("Fired() = %d, want 7", e.Fired())
-	}
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		for i := 0; i < 7; i++ {
+			e.At(Time(i), func(*Engine) {})
+		}
+		e.Run()
+		if e.Fired() != 7 {
+			t.Fatalf("Fired() = %d, want 7", e.Fired())
+		}
+	})
 }
 
 // Property: for any batch of events with random times, execution order is
 // sorted by time with insertion order breaking ties.
 func TestEventOrderProperty(t *testing.T) {
-	f := func(times []uint16) bool {
-		if len(times) == 0 {
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		f := func(times []uint16) bool {
+			if len(times) == 0 {
+				return true
+			}
+			e := newEngine()
+			type rec struct {
+				at  Time
+				seq int
+			}
+			var got []rec
+			for i, raw := range times {
+				at := Time(raw)
+				i := i
+				e.At(at, func(en *Engine) { got = append(got, rec{en.Now(), i}) })
+			}
+			e.Run()
+			if len(got) != len(times) {
+				return false
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].at < got[i-1].at {
+					return false
+				}
+				if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+					return false
+				}
+			}
 			return true
 		}
-		e := NewEngine()
-		type rec struct {
-			at  Time
-			seq int
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
 		}
-		var got []rec
-		for i, raw := range times {
-			at := Time(raw)
-			i := i
-			e.At(at, func(en *Engine) { got = append(got, rec{en.Now(), i}) })
-		}
-		e.Run()
-		if len(got) != len(times) {
-			return false
-		}
-		for i := 1; i < len(got); i++ {
-			if got[i].at < got[i-1].at {
-				return false
-			}
-			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
 // Property: interleaving random RunUntil deadlines never changes the set of
 // fired events relative to a single full run.
 func TestRunUntilSplitProperty(t *testing.T) {
-	f := func(times []uint16, cutsRaw []uint16) bool {
-		run := func(cuts []Time) []Time {
-			e := NewEngine()
-			var trace []Time
-			for _, raw := range times {
-				at := Time(raw)
-				e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		f := func(times []uint16, cutsRaw []uint16) bool {
+			run := func(cuts []Time) []Time {
+				e := newEngine()
+				var trace []Time
+				for _, raw := range times {
+					at := Time(raw)
+					e.At(at, func(en *Engine) { trace = append(trace, en.Now()) })
+				}
+				for _, c := range cuts {
+					e.RunUntil(c)
+				}
+				e.RunUntil(1 << 20)
+				return trace
 			}
-			for _, c := range cuts {
-				e.RunUntil(c)
+			var cuts []Time
+			for _, c := range cutsRaw {
+				cuts = append(cuts, Time(c))
 			}
-			e.RunUntil(1 << 20)
-			return trace
-		}
-		var cuts []Time
-		for _, c := range cutsRaw {
-			cuts = append(cuts, Time(c))
-		}
-		// RunUntil requires non-decreasing deadlines to be meaningful; sort.
-		for i := 1; i < len(cuts); i++ {
-			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
-				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			// RunUntil requires non-decreasing deadlines to be meaningful; sort.
+			for i := 1; i < len(cuts); i++ {
+				for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+					cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+				}
 			}
-		}
-		a, b := run(nil), run(cuts)
-		if len(a) != len(b) {
-			return false
-		}
-		for i := range a {
-			if a[i] != b[i] {
+			a, b := run(nil), run(cuts)
+			if len(a) != len(b) {
 				return false
 			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
 		}
-		return true
-	}
-	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
-	if err := quick.Check(f, cfg); err != nil {
-		t.Fatal(err)
-	}
+		cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestDurationOf(t *testing.T) {
@@ -305,46 +534,31 @@ func TestTimeHelpers(t *testing.T) {
 	}
 }
 
-func BenchmarkEngineScheduleRun(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		var tick Handler
-		n := 0
-		tick = func(en *Engine) {
-			n++
-			if n < 1000 {
-				en.After(10, tick)
-			}
-		}
-		e.After(10, tick)
-		e.Run()
-	}
-}
-
 // TestEngineReentrancyPanics pins the one-engine-per-goroutine contract's
 // enforceable half: driving Run or RunUntil from inside an event handler is
 // always a bug and must panic rather than interleave two event loops.
 func TestEngineReentrancyPanics(t *testing.T) {
-	e := NewEngine()
-	panicked := false
-	e.At(1, func(en *Engine) {
-		defer func() {
-			if recover() != nil {
-				panicked = true
-			}
-		}()
-		en.RunUntil(10) // re-enter the running engine
+	forEachScheduler(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		panicked := false
+		e.At(1, func(en *Engine) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			en.RunUntil(10) // re-enter the running engine
+		})
+		e.RunUntil(5)
+		if !panicked {
+			t.Fatal("re-entrant RunUntil did not panic")
+		}
+		// The engine stays usable after the recovered violation.
+		fired := false
+		e.At(6, func(*Engine) { fired = true })
+		e.RunUntil(10)
+		if !fired {
+			t.Fatal("engine wedged after recovered re-entrancy panic")
+		}
 	})
-	e.RunUntil(5)
-	if !panicked {
-		t.Fatal("re-entrant RunUntil did not panic")
-	}
-	// The engine stays usable after the recovered violation.
-	fired := false
-	e.At(6, func(*Engine) { fired = true })
-	e.RunUntil(10)
-	if !fired {
-		t.Fatal("engine wedged after recovered re-entrancy panic")
-	}
 }

@@ -1,0 +1,62 @@
+package sim
+
+import "container/heap"
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// heapScheduler is the binary min-heap backend: the seed implementation,
+// O(log n) per operation, and the reference ordering the wheel is
+// cross-checked against.
+type heapScheduler struct {
+	q eventHeap
+}
+
+func newHeapScheduler() *heapScheduler { return &heapScheduler{} }
+
+func (h *heapScheduler) Name() string { return string(SchedulerHeap) }
+
+func (h *heapScheduler) Len() int { return len(h.q) }
+
+func (h *heapScheduler) schedule(ev *event) { heap.Push(&h.q, ev) }
+
+func (h *heapScheduler) next(bound Time) *event {
+	if len(h.q) == 0 || h.q[0].at > bound {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapScheduler) pop() *event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.q).(*event)
+}

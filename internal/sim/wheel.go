@@ -1,0 +1,210 @@
+package sim
+
+import "math/bits"
+
+// wheelScheduler is a hierarchical timer wheel: 11 levels of 64 slots,
+// where level l has slot width 2^(6l) ns, so level 0 resolves single
+// nanoseconds and the top level spans the whole int64 time range. An event
+// is filed at the level matching the magnitude of its delay (delta =
+// at − cur) and in the slot addressed by the corresponding 6 bits of its
+// absolute time, which makes scheduling O(1): two shifts, a mask and an
+// append, with no comparison cascade like the heap's sift-up.
+//
+// Determinism contract. The wheel must emit events in exactly (time, seq)
+// order — the same order as the binary heap — or runs would stop being
+// bit-identical across backends. Three properties deliver that:
+//
+//  1. cur (the cursor) is a lower bound on every pending event's time, and
+//     only advances to the time of the event about to be handed out, so a
+//     level-0 slot can only ever hold events of one single timestamp
+//     (two timestamps in one slot would differ by ≥ 64 ns, but level-0
+//     residence requires delta < 64 ns against a monotone cursor).
+//  2. Every slot tracks the minimum event time it holds, and every level
+//     tracks its minimum slot, so the global minimum is an O(levels) scan
+//     with no slot contents touched.
+//  3. When the global minimum lives above level 0, its slot is cascaded:
+//     drained and refiled relative to the minimum itself, which lands the
+//     minimum event(s) at level 0 (delta 0). Ties across levels cascade
+//     highest level first, so every event sharing the minimal timestamp
+//     reaches the same level-0 slot before one of them is popped — only
+//     then can the seq tie-break see all contenders.
+//
+// Cancelled events are discarded lazily at pop, exactly like the heap, so
+// Len and the drain order of cancelled cells match across backends.
+//
+// Complexity: an event is refiled at most once per level it descends
+// through on the cascade path, so the amortized cost per event is O(levels)
+// worst-case and O(1) for the short delays (µs–ms against a ns clock) that
+// dominate simulation workloads. Pathological schedules that repeatedly
+// collide far-future events into one slot degrade toward the heap's cost,
+// never below correctness.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // 11 × 6 bits ≥ 63: any int64 delay fits without overflow
+)
+
+type wheelScheduler struct {
+	cur Time // lower bound on every pending event's time
+	n   int
+
+	slots [wheelLevels][wheelSlots][]*event
+	// occ[l] has bit s set iff slots[l][s] is non-empty.
+	occ [wheelLevels]uint64
+	// slotMin[l][s] is the minimum event time in slots[l][s]; valid only
+	// while the occupancy bit is set.
+	slotMin [wheelLevels][wheelSlots]Time
+	// levelMin[l] / levelMinSlot[l] cache the minimum slotMin of level l
+	// and its slot index; valid only while occ[l] != 0.
+	levelMin     [wheelLevels]Time
+	levelMinSlot [wheelLevels]int
+
+	// scratch is the cascade's drain buffer, reused so that refiling a
+	// slot allocates nothing in steady state.
+	scratch []*event
+
+	// cached memoizes the event the last next call settled to level 0, so
+	// the pop that follows it (the engine always peeks before popping) does
+	// not repeat the level scan and cascade. Invalidated by pop and by any
+	// schedule that could change the minimum.
+	cached *event
+}
+
+func newWheelScheduler() *wheelScheduler { return &wheelScheduler{} }
+
+func (w *wheelScheduler) Name() string { return string(SchedulerWheel) }
+
+func (w *wheelScheduler) Len() int { return w.n }
+
+func (w *wheelScheduler) schedule(ev *event) {
+	// An insert strictly before the memoized minimum displaces it. An equal
+	// timestamp cannot: the new event carries a higher seq, and it files at
+	// delta 0 into the very level-0 slot the cached minimum occupies.
+	if w.cached != nil && ev.at < w.cached.at {
+		w.cached = nil
+	}
+	w.place(ev)
+	w.n++
+}
+
+// place files ev by the magnitude of its delay against the cursor. The
+// engine (and the cascade loop) guarantee ev.at ≥ w.cur.
+func (w *wheelScheduler) place(ev *event) {
+	delta := ev.at - w.cur
+	l := 0
+	if delta > 0 {
+		l = (bits.Len64(uint64(delta)) - 1) / wheelBits
+	}
+	s := int(uint64(ev.at)>>(l*wheelBits)) & wheelMask
+	w.slots[l][s] = append(w.slots[l][s], ev)
+	bit := uint64(1) << s
+	if w.occ[l]&bit == 0 {
+		if w.occ[l] == 0 || ev.at < w.levelMin[l] {
+			w.levelMin[l], w.levelMinSlot[l] = ev.at, s
+		}
+		w.occ[l] |= bit
+		w.slotMin[l][s] = ev.at
+		return
+	}
+	if ev.at < w.slotMin[l][s] {
+		w.slotMin[l][s] = ev.at
+	}
+	if ev.at < w.levelMin[l] {
+		w.levelMin[l], w.levelMinSlot[l] = ev.at, s
+	}
+}
+
+// refreshLevelMin recomputes the cached minimum of level l from its
+// occupied slots (after a slot was drained or emptied).
+func (w *wheelScheduler) refreshLevelMin(l int) {
+	first := true
+	for b := w.occ[l]; b != 0; b &= b - 1 {
+		s := bits.TrailingZeros64(b)
+		if first || w.slotMin[l][s] < w.levelMin[l] {
+			w.levelMin[l], w.levelMinSlot[l] = w.slotMin[l][s], s
+		}
+		first = false
+	}
+}
+
+// next settles the earliest pending event down to level 0 and returns it,
+// or returns nil — without mutating anything — when the calendar is empty
+// or the earliest event lies beyond bound. Leaving the cursor untouched in
+// the beyond-bound case is what lets RunUntil stop at a deadline and still
+// accept later schedules between the deadline and the next event.
+func (w *wheelScheduler) next(bound Time) *event {
+	if w.cached != nil {
+		if w.cached.at > bound {
+			return nil
+		}
+		return w.cached
+	}
+	for {
+		// Global minimum: O(levels) scan of the cached level minima.
+		// Ties prefer the highest level so that every slot holding the
+		// minimal timestamp is cascaded into level 0 before we pick a
+		// winner by seq.
+		best := -1
+		for l := 0; l < wheelLevels; l++ {
+			if w.occ[l] != 0 && (best < 0 || w.levelMin[l] <= w.levelMin[best]) {
+				best = l
+			}
+		}
+		if best < 0 || w.levelMin[best] > bound {
+			return nil
+		}
+		m, s := w.levelMin[best], w.levelMinSlot[best]
+		w.cur = m
+		if best == 0 {
+			// A level-0 slot holds a single timestamp (see the cursor
+			// monotonicity argument above), so the tie-break is seq alone.
+			list := w.slots[0][s]
+			mi := 0
+			for i := 1; i < len(list); i++ {
+				if list[i].seq < list[mi].seq {
+					mi = i
+				}
+			}
+			w.cached = list[mi]
+			return list[mi]
+		}
+		// Cascade: drain the minimum's slot and refile relative to cur=m.
+		// The minimum itself refiles with delta 0, i.e. at level 0. The
+		// drained events move through the scratch buffer because place may
+		// refile a far-future event right back into the slot being drained.
+		list := w.slots[best][s]
+		w.scratch = append(w.scratch[:0], list...)
+		w.slots[best][s] = list[:0]
+		w.occ[best] &^= 1 << s
+		w.refreshLevelMin(best)
+		for _, ev := range w.scratch {
+			w.place(ev)
+		}
+	}
+}
+
+func (w *wheelScheduler) pop() *event {
+	ev := w.next(maxTime)
+	if ev == nil {
+		return nil
+	}
+	w.cached = nil
+	s := int(uint64(ev.at)) & wheelMask
+	list := w.slots[0][s]
+	for i := range list {
+		if list[i] == ev {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			w.slots[0][s] = list[:last]
+			break
+		}
+	}
+	if len(w.slots[0][s]) == 0 {
+		w.occ[0] &^= 1 << s
+		w.refreshLevelMin(0)
+	}
+	w.n--
+	return ev
+}

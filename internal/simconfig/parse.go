@@ -190,7 +190,7 @@ func algFactory(fields []string) (switchalg.Factory, error) {
 	case "erica":
 		return switchalg.NewERICA(), nil
 	case "none":
-		return nil, nil
+		return switchalg.None, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", fields[0])
 	}

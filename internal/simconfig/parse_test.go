@@ -108,8 +108,10 @@ func TestParseAlgVariants(t *testing.T) {
 		}
 	}
 	spec := parseOK(t, "alg none\nsession a 0 1 greedy\n")
-	if spec.Config.Alg != nil {
-		t.Error("none: factory should be nil")
+	if spec.Config.Alg == nil {
+		t.Error("none: want the switchalg.None factory, got a nil Factory")
+	} else if spec.Config.Alg() != nil {
+		t.Error("none: factory should produce a nil algorithm")
 	}
 }
 

@@ -52,9 +52,13 @@ type Algorithm interface {
 // four algorithms.
 type Factory func() Algorithm
 
-// None returns a nil-algorithm factory for ports that apply no rate
-// control (plain FIFO forwarding).
-func None() Algorithm { return nil }
+// None is the nil-algorithm Factory for ports that apply no rate control
+// (plain FIFO forwarding). Scenario builders treat a factory that returns
+// nil exactly like a nil Factory, so passing None is equivalent to leaving
+// a config's Alg unset — but it lets call sites that select a Factory by
+// name (the simconfig "alg none" directive) stay total instead of
+// special-casing nil.
+var None Factory = func() Algorithm { return nil }
 
 // minF returns the smaller of two float64s without pulling in math.Min's
 // NaN semantics on the hot path.
