@@ -27,7 +27,7 @@ var aliases = map[string]string{
 
 func main() {
 	c := cli.New("phantom-atm",
-		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler)
+		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile)
 	list := flag.Bool("list", false, "list available experiments")
 	id := flag.String("exp", "", "experiment ID to run (e.g. E01, or a paper ref like fig3)")
 	all := flag.Bool("all", false, "run every ATM experiment (E01–E08, E14–E17, A01–A03)")
@@ -49,4 +49,5 @@ func main() {
 	default:
 		c.Usage()
 	}
+	c.Close()
 }

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	c := cli.New("phantom-compare",
-		cli.FlagDuration|cli.FlagWorkers|cli.FlagScheduler)
+		cli.FlagDuration|cli.FlagWorkers|cli.FlagScheduler|cli.FlagProfile)
 	c.Parse()
 
 	jobs := make([]runner.Job, 0, 2)
@@ -52,4 +52,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	c.Close()
 }

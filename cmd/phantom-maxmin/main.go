@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	app := cli.New("phantom-maxmin", 0)
+	app := cli.New("phantom-maxmin", cli.FlagProfile)
 	u := flag.Float64("u", 5, "Phantom utilization factor for the predicted operating point")
 	app.Parse()
 
@@ -110,4 +110,5 @@ func main() {
 		fmt.Printf("phantom on %s (k=%d single-link sessions, u=%g): MACR=%.3f rate=%.3f util=%.1f%%\n",
 			name, k, *u, macr, rate, 100*float64(k)*rate/caps[idx])
 	}
+	app.Close()
 }

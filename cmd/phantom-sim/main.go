@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	c := cli.New("phantom-sim", cli.FlagQuiet|cli.FlagScheduler)
+	c := cli.New("phantom-sim", cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile)
 	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
 	svgDir := flag.String("svg", "", "write SVG figures into this directory")
 	csvPath := flag.String("csv", "", "write all series as CSV to this file")
@@ -112,6 +112,7 @@ func main() {
 			c.Fatal(err)
 		}
 	}
+	c.Close()
 }
 
 // writeSVGs regenerates the figure triple as SVG files.

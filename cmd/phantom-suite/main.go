@@ -59,7 +59,7 @@ type suiteConfig struct {
 
 func main() {
 	c := cli.New("phantom-suite",
-		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler)
+		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile)
 	var (
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
@@ -74,7 +74,9 @@ func main() {
 		goldenDir: *goldenDir, updateGolden: *updateGolden,
 		jsonOut: c.JSON, list: *list, verbose: *verbose,
 	}
-	os.Exit(run(cfg))
+	code := run(cfg)
+	c.Close()
+	os.Exit(code)
 }
 
 func run(cfg suiteConfig) int {
@@ -193,9 +195,13 @@ func run(cfg suiteConfig) int {
 			SimSec        float64  `json:"sim_seconds"`
 			Workers       int      `json:"workers"`
 			Failed        int      `json:"failed"`
+			Mallocs       uint64   `json:"mallocs"`
+			AllocBytes    uint64   `json:"alloc_bytes"`
+			AllocsPerRun  float64  `json:"allocs_per_run"`
 		}{exp.SchemaVersion, reports, float64(stats.Wall) / float64(time.Millisecond),
 			float64(stats.WorkWall) / float64(time.Millisecond),
-			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed}
+			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed,
+			stats.Mallocs, stats.AllocBytes, stats.AllocsPerRun()}
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phantom-suite:", err)
@@ -223,9 +229,9 @@ func run(cfg suiteConfig) int {
 			fmt.Printf("       • %s\n", n)
 		}
 	}
-	fmt.Printf("\n%d experiments, %d failed · wall %v · work %v · work/wall %.2fx (j=%d) · %.1f sim-s/wall-s\n",
+	fmt.Printf("\n%d experiments, %d failed · wall %v · work %v · work/wall %.2fx (j=%d) · %.1f sim-s/wall-s · %.0f allocs/run (%.1f MB)\n",
 		stats.Runs, stats.Failed, stats.Wall.Round(time.Millisecond),
 		stats.WorkWall.Round(time.Millisecond), stats.Speedup(), stats.Workers,
-		stats.SimPerWallSecond())
+		stats.SimPerWallSecond(), stats.AllocsPerRun(), float64(stats.AllocBytes)/1e6)
 	return exitCode
 }

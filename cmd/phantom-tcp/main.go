@@ -25,7 +25,7 @@ var aliases = map[string]string{
 
 func main() {
 	c := cli.New("phantom-tcp",
-		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler)
+		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile)
 	list := flag.Bool("list", false, "list available experiments")
 	id := flag.String("exp", "", "experiment ID to run (e.g. E09, fig14)")
 	all := flag.Bool("all", false, "run every TCP experiment (E09–E13)")
@@ -47,4 +47,5 @@ func main() {
 	default:
 		c.Usage()
 	}
+	c.Close()
 }

@@ -129,8 +129,20 @@ func (s *Source) scheduleActivity(e *sim.Engine) {
 		s.armSend(e)
 	}
 	if next, ok := s.Pattern.NextChange(e.Now()); ok {
-		e.At(next, func(en *sim.Engine) { s.scheduleActivity(en) })
+		e.AtFunc(next, sourceActivity, sim.Payload{Obj: s})
 	}
+}
+
+// sourceActivity is the pattern-transition wake-up; the payload carries the
+// source so the recurring schedule allocates no closure.
+func sourceActivity(e *sim.Engine, p sim.Payload) {
+	p.Obj.(*Source).scheduleActivity(e)
+}
+
+// sourceSend fires the paced per-cell transmission; a typed callback so the
+// per-cell re-arm in armSend allocates nothing.
+func sourceSend(e *sim.Engine, p sim.Payload) {
+	p.Obj.(*Source).sendCell(e)
 }
 
 // armSend schedules the next cell transmission if none is pending.
@@ -151,7 +163,7 @@ func (s *Source) armSend(e *sim.Engine) {
 	} else if !s.everSent {
 		gap = 0
 	}
-	s.sendRef = e.After(gap, s.sendCell)
+	s.sendRef = e.AfterFunc(gap, sourceSend, sim.Payload{Obj: s})
 }
 
 // sendCell emits one cell and re-arms the loop while the pattern stays

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -16,6 +17,12 @@ import (
 // the transmitter is busy queue up; the queue is the quantity every figure
 // of the paper plots. A Link implements atm.Sink so any component can feed
 // it.
+//
+// The cell path through a link is allocation-free in steady state: the
+// output FIFO and the propagation pipe are reusable ring buffers whose
+// capacity stabilizes at the peak backlog, and every event the link
+// schedules is a typed callback (sim.AfterFunc) carrying only the link
+// pointer — no closure, and no cell escaping to the heap.
 type Link struct {
 	Name string
 	// RateCPS is the line rate in cells/s.
@@ -29,7 +36,8 @@ type Link struct {
 	Dst atm.Sink
 
 	// OnTransmit fires when a cell finishes transmission (the metering
-	// point for Phantom). The cell may not be modified.
+	// point for Phantom). The cell may not be modified and the pointer is
+	// valid only for the duration of the call.
 	OnTransmit func(now sim.Time, c *atm.Cell)
 	// OnQueue fires when the queue length changes.
 	OnQueue func(now sim.Time, qlen int)
@@ -45,8 +53,15 @@ type Link struct {
 	lossRNG *workload.RNG
 	lost    int64
 
-	queue   []atm.Cell
-	head    int
+	queue ring.Ring[atm.Cell]
+	// inflight holds cells transmitted but still propagating. The line is
+	// FIFO with one constant Delay, so deliveries leave in transmission
+	// order and the delivery event needs no payload beyond the link itself.
+	inflight ring.Ring[atm.Cell]
+	// scratch is the cell handed to OnTransmit by pointer; a field rather
+	// than a local so the observer call does not force a heap allocation
+	// per cell.
+	scratch atm.Cell
 	busy    bool
 	dropped int64
 	sent    int64
@@ -63,7 +78,12 @@ func NewLink(name string, rateCPS float64, delay sim.Duration, dst atm.Sink) *Li
 
 // QueueLen returns the number of cells waiting (excluding the one on the
 // wire).
-func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+func (l *Link) QueueLen() int { return l.queue.Len() }
+
+// QueueCap returns the current capacity of the FIFO's backing array. It
+// grows to the peak backlog and then stabilizes; tests use it to pin the
+// no-unbounded-growth property.
+func (l *Link) QueueCap() int { return l.queue.Cap() }
 
 // Dropped returns the number of cells dropped by the queue bound.
 func (l *Link) Dropped() int64 { return l.dropped }
@@ -92,46 +112,51 @@ func (l *Link) Receive(e *sim.Engine, c atm.Cell) {
 		}
 		return
 	}
-	l.queue = append(l.queue, c)
+	l.queue.Push(c)
 	if l.OnQueue != nil {
 		l.OnQueue(e.Now(), l.QueueLen())
 	}
 	l.startTx(e)
 }
 
-// pop removes the head cell, compacting the backing array lazily.
-func (l *Link) pop() atm.Cell {
-	c := l.queue[l.head]
-	l.head++
-	if l.head > 64 && l.head*2 >= len(l.queue) {
-		n := copy(l.queue, l.queue[l.head:])
-		l.queue = l.queue[:n]
-		l.head = 0
-	}
-	return c
-}
-
 // startTx begins transmitting the head cell if the line is idle.
 func (l *Link) startTx(e *sim.Engine) {
-	if l.busy || l.QueueLen() == 0 {
+	if l.busy || l.queue.Len() == 0 {
 		return
 	}
 	l.busy = true
-	e.After(sim.DurationOf(1, l.RateCPS), func(en *sim.Engine) {
-		c := l.pop()
-		l.busy = false
-		l.sent++
-		if l.OnQueue != nil {
-			l.OnQueue(en.Now(), l.QueueLen())
-		}
-		if l.OnTransmit != nil {
-			l.OnTransmit(en.Now(), &c)
-		}
-		if l.Delay > 0 {
-			en.After(l.Delay, func(en2 *sim.Engine) { l.Dst.Receive(en2, c) })
-		} else {
-			l.Dst.Receive(en, c)
-		}
-		l.startTx(en)
-	})
+	e.AfterFunc(sim.DurationOf(1, l.RateCPS), linkTxDone, sim.Payload{Obj: l})
+}
+
+// linkTxDone fires when the head cell finishes serialization: meter it,
+// hand it to the propagation pipe (or straight to Dst on a zero-delay
+// line) and restart the transmitter.
+func linkTxDone(e *sim.Engine, p sim.Payload) {
+	l := p.Obj.(*Link)
+	c := l.queue.Pop()
+	l.busy = false
+	l.sent++
+	if l.OnQueue != nil {
+		l.OnQueue(e.Now(), l.QueueLen())
+	}
+	if l.OnTransmit != nil {
+		l.scratch = c
+		l.OnTransmit(e.Now(), &l.scratch)
+	}
+	if l.Delay > 0 {
+		l.inflight.Push(c)
+		e.AfterFunc(l.Delay, linkDeliver, sim.Payload{Obj: l})
+	} else {
+		l.Dst.Receive(e, c)
+	}
+	l.startTx(e)
+}
+
+// linkDeliver hands the oldest propagating cell to the destination. Cells
+// enter the pipe in transmission order and every delivery is scheduled
+// exactly Delay later, so head-of-pipe is always the cell this event was
+// scheduled for.
+func linkDeliver(e *sim.Engine, p sim.Payload) {
+	l := p.Obj.(*Link)
+	l.Dst.Receive(e, l.inflight.Pop())
 }

@@ -32,6 +32,12 @@ type Switch struct {
 	ports []*Port
 	fwd   map[atm.VCID]*Port
 	bwd   map[atm.VCID]*Port
+	// scratch is the cell handed to the port algorithms by pointer (they
+	// mutate it in place: ER reduction, CI/EFCI marking) and then forwarded.
+	// A field rather than a local keeps the per-cell call from forcing a
+	// heap allocation. Safe because algorithm callbacks never re-enter
+	// Receive — downstream delivery always goes through a scheduled event.
+	scratch atm.Cell
 }
 
 // NewSwitch returns an empty switch.
@@ -74,15 +80,16 @@ func (s *Switch) Route(vc atm.VCID, fwd, bwd *Port) {
 // Receive implements atm.Sink.
 func (s *Switch) Receive(e *sim.Engine, c atm.Cell) {
 	now := e.Now()
+	s.scratch = c
 	if c.Kind == atm.BackwardRM {
 		if fp := s.fwd[c.VC]; fp != nil && fp.Alg != nil {
-			fp.Alg.OnBackwardRM(now, &c)
+			fp.Alg.OnBackwardRM(now, &s.scratch)
 		}
 		bp := s.bwd[c.VC]
 		if bp == nil {
 			panic(fmt.Sprintf("atmnet: switch %s has no backward route for VC %d", s.Name, c.VC))
 		}
-		bp.Link.Receive(e, c)
+		bp.Link.Receive(e, s.scratch)
 		return
 	}
 	fp := s.fwd[c.VC]
@@ -90,10 +97,10 @@ func (s *Switch) Receive(e *sim.Engine, c atm.Cell) {
 		panic(fmt.Sprintf("atmnet: switch %s has no forward route for VC %d", s.Name, c.VC))
 	}
 	if fp.Alg != nil {
-		fp.Alg.OnArrival(now, &c)
+		fp.Alg.OnArrival(now, &s.scratch)
 		if c.Kind == atm.ForwardRM {
-			fp.Alg.OnForwardRM(now, &c)
+			fp.Alg.OnForwardRM(now, &s.scratch)
 		}
 	}
-	fp.Link.Receive(e, c)
+	fp.Link.Receive(e, s.scratch)
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +38,9 @@ const (
 	FlagQuick
 	// FlagScheduler registers -scheduler: the engine calendar backend.
 	FlagScheduler
+	// FlagProfile registers -cpuprofile and -memprofile: write pprof
+	// profiles of the run for performance work on the cell path.
+	FlagProfile
 )
 
 // Common holds the parsed common flags of one command invocation.
@@ -59,6 +64,9 @@ type Common struct {
 	Scheduler sim.SchedulerKind
 
 	schedulerName string
+	cpuProfile    string
+	memProfile    string
+	cpuFile       *os.File
 }
 
 // New registers the selected common flags on the default flag set. Call it
@@ -87,6 +95,10 @@ func New(prog string, flags Flags) *Common {
 		flag.StringVar(&c.schedulerName, "scheduler", "",
 			"simulation engine calendar backend: heap or wheel (default heap); results are identical, only run cost differs")
 	}
+	if flags&FlagProfile != 0 {
+		flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+		flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	}
 	return c
 }
 
@@ -103,6 +115,43 @@ func (c *Common) Parse() {
 	// through to the engine default.
 	if c.schedulerName != "" {
 		c.Scheduler = kind
+	}
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", c.prog, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", c.prog, err)
+			os.Exit(2)
+		}
+		c.cpuFile = f
+	}
+}
+
+// Close finalizes profiling: it stops the CPU profile started by Parse and
+// writes the heap profile requested by -memprofile. Commands call it on
+// every exit path (including Fatal) so a profiled run always produces a
+// readable file.
+func (c *Common) Close() {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		c.cpuFile.Close()
+		c.cpuFile = nil
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", c.prog, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle live heap so the profile reflects retained memory
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", c.prog, err)
+		}
+		c.memProfile = ""
 	}
 }
 
@@ -125,8 +174,10 @@ func (c *Common) FilterRegexp() *regexp.Regexp {
 	return re
 }
 
-// Fatal prints err prefixed with the command name and exits 1.
+// Fatal prints err prefixed with the command name and exits 1, flushing any
+// active profiles first.
 func (c *Common) Fatal(err error) {
+	c.Close()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
 	os.Exit(1)
 }

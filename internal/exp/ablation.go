@@ -204,6 +204,7 @@ func init() {
 				res.Summary[fmt.Sprintf("relerr_k%d", k)] = rel
 				res.Summary[fmt.Sprintf("sim_settle_ms_k%d", k)] = simSettle
 				res.Summary[fmt.Sprintf("fluid_settle_ms_k%d", k)] = fluidMs
+				n.Release()
 			}
 			res.Summary["worst_relerr"] = worst
 			if !o.Quiet {
@@ -275,6 +276,7 @@ func init() {
 				res.Summary["util_"+key] = n.TrunkUtilization(0)
 				res.Summary["peakq_"+key] = float64(n.PeakTrunkQueue[0])
 				res.Summary["swing_"+key] = swing
+				n.Release()
 			}
 			if !o.Quiet {
 				res.Tables = append(res.Tables, tb.Render())

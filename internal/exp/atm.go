@@ -23,9 +23,11 @@ func phantomTarget() float64 {
 }
 
 // buildAndRun constructs an ATM scenario and runs it for d, applying the
-// run-shaping options (scheduler backend) to the config.
+// run-shaping options (scheduler backend) to the config. The run length
+// doubles as the series pre-sizing hint.
 func buildAndRun(cfg scenario.ATMConfig, d sim.Duration, o Options) (*scenario.ATMNet, error) {
 	cfg.Scheduler = o.Scheduler
+	cfg.Duration = d
 	n, err := scenario.BuildATM(cfg)
 	if err != nil {
 		return nil, err
@@ -304,6 +306,7 @@ func init() {
 				tb.AddRow(u, util, theoryUtil, n.FairShare[0].Last(), wantMACR, n.PeakTrunkQueue[0])
 				res.Summary[fmt.Sprintf("util_u%g", u)] = util
 				res.Summary[fmt.Sprintf("theory_util_u%g", u)] = theoryUtil
+				n.Release()
 			}
 			if !o.Quiet {
 				res.Tables = append(res.Tables, tb.Render())
@@ -380,6 +383,7 @@ func init() {
 						worst = rel
 					}
 					tb.AddRow(k, u, gotMACR, wantMACR, gotRate, wantRate, rel)
+					n.Release()
 				}
 			}
 			if !o.Quiet {

@@ -210,6 +210,7 @@ func init() {
 				res.Summary["meanq_"+p] = meanQ
 				res.Summary["p99q_"+p] = p99Q
 				res.Summary["conv_ms_"+p] = conv
+				n.Release()
 			}
 			if !o.Quiet {
 				res.Tables = append(res.Tables, tb.Render())

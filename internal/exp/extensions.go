@@ -152,6 +152,7 @@ func init() {
 				res.Summary["normjain_"+v.key] = nj
 				res.Summary["util_"+v.key] = util
 				res.Summary["peakq_"+v.key] = float64(n.PeakTrunkQueue[0])
+				n.Release()
 			}
 			if !o.Quiet {
 				res.Tables = append(res.Tables, tb.Render())
@@ -258,6 +259,7 @@ func init() {
 				res.Summary[fmt.Sprintf("theory_util_k%d", k)] = theory
 				res.Summary[fmt.Sprintf("jain_k%d", k)] = jain
 				res.Summary[fmt.Sprintf("peakq_k%d", k)] = float64(n.PeakTrunkQueue[0])
+				n.Release()
 			}
 			if !o.Quiet {
 				res.Tables = append(res.Tables, tb.Render())

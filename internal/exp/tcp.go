@@ -21,9 +21,11 @@ func fig14Flows() []scenario.TCPFlowSpec {
 }
 
 // runTCP builds and runs a TCP scenario, applying the run-shaping options
-// (scheduler backend) to the config.
+// (scheduler backend) to the config. The run length doubles as the series
+// pre-sizing hint.
 func runTCP(cfg scenario.TCPConfig, d sim.Duration, o Options) (*scenario.TCPNet, error) {
 	cfg.Scheduler = o.Scheduler
+	cfg.Duration = d
 	n, err := scenario.BuildTCP(cfg)
 	if err != nil {
 		return nil, err
@@ -171,6 +173,7 @@ func init() {
 					return disc
 				},
 				Scheduler: o.Scheduler,
+				Duration:  d,
 			})
 			if err != nil {
 				return nil, err
@@ -236,6 +239,7 @@ func init() {
 						return ip.NewPhantomDiscipline(mode, core.Config{})
 					},
 					Scheduler: o.Scheduler,
+					Duration:  d,
 				})
 				if err != nil {
 					return nil, err
@@ -257,6 +261,7 @@ func init() {
 				if !o.Quiet {
 					res.Tables = append(res.Tables, tcpTable("E12 "+m.mode.String(), n))
 				}
+				n.Release()
 			}
 			res.addf("paper: both lossless variants achieve the fairness of Selective Discard; quench consumes reverse bandwidth, the EFCI bit needs a header bit")
 			res.addf("measured: Jain quench %.3f / ecn %.3f; drops quench %d / ecn %d",

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/ip"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -56,9 +57,8 @@ type IngressEdge struct {
 	OnDrop func(now sim.Time, p *ip.Packet)
 
 	acr        float64
-	queue      []*ip.Packet
+	queue      ring.Ring[*ip.Packet]
 	queueBytes int
-	head       int
 	// segmentation state for the packet currently on the wire.
 	curCells int // cells of the head packet already sent
 	sinceRM  int
@@ -107,7 +107,7 @@ func (g *IngressEdge) Receive(e *sim.Engine, p *ip.Packet) {
 		}
 		return
 	}
-	g.queue = append(g.queue, p)
+	g.queue.Push(p)
 	g.queueBytes += p.SizeBytes()
 	g.armSend(e)
 }
@@ -133,22 +133,27 @@ func (g *IngressEdge) BackwardSink() atm.Sink {
 	return atm.SinkFunc(func(e *sim.Engine, c atm.Cell) { g.ReceiveCell(e, c) })
 }
 
-// armSend schedules the next cell if the pacer is idle and data waits.
+// armSend schedules the next cell if the pacer is idle and data waits. A
+// typed callback so the per-cell re-arm allocates nothing.
 func (g *IngressEdge) armSend(e *sim.Engine) {
-	if g.pending || g.head >= len(g.queue) {
+	if g.pending || g.queue.Len() == 0 {
 		return
 	}
 	g.pending = true
-	e.After(sim.DurationOf(1, g.acr), g.sendCell)
+	e.AfterFunc(sim.DurationOf(1, g.acr), edgeSendCell, sim.Payload{Obj: g})
+}
+
+func edgeSendCell(e *sim.Engine, p sim.Payload) {
+	p.Obj.(*IngressEdge).sendCell(e)
 }
 
 // sendCell emits the next cell of the head datagram.
 func (g *IngressEdge) sendCell(e *sim.Engine) {
 	g.pending = false
-	if g.head >= len(g.queue) {
+	if g.queue.Len() == 0 {
 		return
 	}
-	pkt := g.queue[g.head]
+	pkt := *g.queue.Peek()
 	total := cellsFor(pkt)
 
 	c := atm.Cell{VC: g.VC, Kind: atm.Data, SentAt: e.Now()}
@@ -166,18 +171,9 @@ func (g *IngressEdge) sendCell(e *sim.Engine) {
 			c.PacketCells = total
 			c.Payload = pkt
 			// Advance to the next datagram.
-			g.queue[g.head] = nil
-			g.head++
+			g.queue.Pop()
 			g.queueBytes -= pkt.SizeBytes()
 			g.curCells = 0
-			if g.head > 64 && g.head*2 >= len(g.queue) {
-				n := copy(g.queue, g.queue[g.head:])
-				for i := n; i < len(g.queue); i++ {
-					g.queue[i] = nil
-				}
-				g.queue = g.queue[:n]
-				g.head = 0
-			}
 		}
 	}
 	g.sent++

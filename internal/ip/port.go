@@ -3,6 +3,7 @@ package ip
 import (
 	"fmt"
 
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -56,12 +57,15 @@ type Port struct {
 	lossRNG *workload.RNG
 	lost    int64
 
-	queue   []*Packet
-	head    int
-	busy    bool
-	dropped int64
-	sentPk  int64
-	sentBy  int64
+	queue ring.Ring[*Packet]
+	// inflight holds packets transmitted but still propagating; the wire is
+	// FIFO with one constant Delay, so delivery events carry no payload
+	// beyond the port itself.
+	inflight ring.Ring[*Packet]
+	busy     bool
+	dropped  int64
+	sentPk   int64
+	sentBy   int64
 }
 
 // NewPort builds a port; disc may be nil for a pure FIFO.
@@ -82,13 +86,17 @@ func (p *Port) Attach(e *sim.Engine, d Discipline) {
 }
 
 // QueueLen returns the backlog in packets.
-func (p *Port) QueueLen() int { return len(p.queue) - p.head }
+func (p *Port) QueueLen() int { return p.queue.Len() }
+
+// QueueCap returns the current capacity of the FIFO's backing array; it
+// grows to the peak backlog and then stabilizes.
+func (p *Port) QueueCap() int { return p.queue.Cap() }
 
 // QueueBytes returns the backlog in bytes.
 func (p *Port) QueueBytes() int {
 	n := 0
-	for i := p.head; i < len(p.queue); i++ {
-		n += p.queue[i].SizeBytes()
+	for i := 0; i < p.queue.Len(); i++ {
+		n += (*p.queue.At(i)).SizeBytes()
 	}
 	return n
 }
@@ -131,7 +139,7 @@ func (p *Port) Receive(e *sim.Engine, pkt *Packet) {
 		p.drop(e, pkt, "tail")
 		return
 	}
-	p.queue = append(p.queue, pkt)
+	p.queue.Push(pkt)
 	if p.OnQueue != nil {
 		p.OnQueue(e.Now(), p.QueueLen())
 	}
@@ -145,45 +153,45 @@ func (p *Port) drop(e *sim.Engine, pkt *Packet, reason string) {
 	}
 }
 
-func (p *Port) pop() *Packet {
-	pkt := p.queue[p.head]
-	p.queue[p.head] = nil
-	p.head++
-	if p.head > 64 && p.head*2 >= len(p.queue) {
-		n := copy(p.queue, p.queue[p.head:])
-		for i := n; i < len(p.queue); i++ {
-			p.queue[i] = nil
-		}
-		p.queue = p.queue[:n]
-		p.head = 0
-	}
-	return pkt
-}
-
 func (p *Port) startTx(e *sim.Engine) {
-	if p.busy || p.QueueLen() == 0 {
+	if p.busy || p.queue.Len() == 0 {
 		return
 	}
 	p.busy = true
-	next := p.queue[p.head]
-	e.After(sim.DurationOf(next.SizeBits(), p.RateBPS), func(en *sim.Engine) {
-		pkt := p.pop()
-		p.busy = false
-		p.sentPk++
-		p.sentBy += int64(pkt.SizeBytes())
-		if p.OnQueue != nil {
-			p.OnQueue(en.Now(), p.QueueLen())
-		}
-		if p.Disc != nil {
-			p.Disc.OnTransmit(en.Now(), pkt)
-		}
-		if p.Delay > 0 {
-			en.After(p.Delay, func(en2 *sim.Engine) { p.Dst.Receive(en2, pkt) })
-		} else {
-			p.Dst.Receive(en, pkt)
-		}
-		p.startTx(en)
-	})
+	next := *p.queue.Peek()
+	e.AfterFunc(sim.DurationOf(next.SizeBits(), p.RateBPS), portTxDone, sim.Payload{Obj: p})
+}
+
+// portTxDone fires when the head packet finishes serialization: account it,
+// hand it to the propagation pipe (or straight to Dst on a zero-delay wire)
+// and restart the transmitter.
+func portTxDone(e *sim.Engine, pl sim.Payload) {
+	p := pl.Obj.(*Port)
+	pkt := p.queue.Pop()
+	p.busy = false
+	p.sentPk++
+	p.sentBy += int64(pkt.SizeBytes())
+	if p.OnQueue != nil {
+		p.OnQueue(e.Now(), p.QueueLen())
+	}
+	if p.Disc != nil {
+		p.Disc.OnTransmit(e.Now(), pkt)
+	}
+	if p.Delay > 0 {
+		p.inflight.Push(pkt)
+		e.AfterFunc(p.Delay, portDeliver, sim.Payload{Obj: p})
+	} else {
+		p.Dst.Receive(e, pkt)
+	}
+	p.startTx(e)
+}
+
+// portDeliver hands the oldest propagating packet to the destination;
+// transmissions and deliveries are both FIFO at a constant Delay, so
+// head-of-pipe is always the packet this event was scheduled for.
+func portDeliver(e *sim.Engine, pl sim.Payload) {
+	p := pl.Obj.(*Port)
+	p.Dst.Receive(e, p.inflight.Pop())
 }
 
 // Router forwards packets by flow and direction: data packets use the

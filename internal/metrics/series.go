@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -29,6 +30,48 @@ type Series struct {
 
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// NewSeriesCap returns an empty named series whose point storage is
+// pre-sized for capHint samples, so a sampler with a known cadence (run
+// duration / sample interval) appends without any append-doubling
+// reallocations. A non-positive hint is the same as NewSeries.
+func NewSeriesCap(name string, capHint int) *Series {
+	s := &Series{Name: name}
+	if capHint > 0 {
+		s.points = make([]Point, 0, capHint)
+	}
+	return s
+}
+
+// pointPool recycles point storage across series lifetimes (sweep points in
+// a parameter sweep build and discard a full scenario each). Slices are
+// pooled with their capacity; Acquire re-slices to zero length.
+var pointPool = sync.Pool{New: func() any { return []Point(nil) }}
+
+// AcquireSeries returns a named series backed by pooled point storage. Pair
+// with Release when every read of the series is done; a series that escapes
+// to a caller (figure data) should use NewSeries/NewSeriesCap instead.
+func AcquireSeries(name string, capHint int) *Series {
+	s := &Series{Name: name}
+	buf := pointPool.Get().([]Point)
+	if cap(buf) < capHint {
+		buf = make([]Point, 0, capHint)
+	}
+	s.points = buf[:0]
+	return s
+}
+
+// Release returns the series' point storage to the pool and empties the
+// series. The caller must not touch previously returned Points afterwards.
+func (s *Series) Release() {
+	if s.points != nil {
+		pointPool.Put(s.points[:0])
+		s.points = nil
+	}
+}
+
+// Reset empties the series in place, keeping its storage for reuse.
+func (s *Series) Reset() { s.points = s.points[:0] }
 
 // Add appends a sample. Samples must arrive in non-decreasing time order;
 // a sample at the same instant as the previous one replaces it (the series

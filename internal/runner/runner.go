@@ -85,6 +85,21 @@ type Stats struct {
 	WorkWall time.Duration
 	// SimTime is the total simulated time covered by all jobs.
 	SimTime sim.Duration
+	// Mallocs and AllocBytes are the process-wide heap allocation deltas
+	// (runtime.MemStats) across the fleet run: the suite's allocation cost.
+	// Process-wide means concurrent non-fleet allocations are included, but
+	// a fleet run owns the process in every CLI, so in practice they are the
+	// experiments' own numbers — the quantity the alloc-budget test bounds.
+	Mallocs    uint64
+	AllocBytes uint64
+}
+
+// AllocsPerRun returns the mean heap allocations per job.
+func (s Stats) AllocsPerRun() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Mallocs) / float64(s.Runs)
 }
 
 // Speedup returns the realized parallelism WorkWall/Wall (1.0 when
@@ -162,6 +177,8 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 	results := make([]Result, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -179,6 +196,10 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 	wg.Wait()
 
 	stats := Stats{Runs: len(jobs), Workers: workers, Wall: time.Since(start)}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	stats.Mallocs = msAfter.Mallocs - msBefore.Mallocs
+	stats.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
 	for i := range results {
 		stats.WorkWall += results[i].Wall
 		stats.SimTime += results[i].SimTime

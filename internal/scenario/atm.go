@@ -54,6 +54,11 @@ type ATMConfig struct {
 	Alg switchalg.Factory
 	// SampleEvery is the series sampling period (default 1 ms).
 	SampleEvery sim.Duration
+	// Duration, when set, is the planned run length. It is a sizing hint
+	// only — Run is still driven by the caller — letting the recorded
+	// series pre-allocate duration/SampleEvery points instead of
+	// append-doubling their way up during the run.
+	Duration sim.Duration
 	// TrunkLossRate injects random cell loss on every trunk (both
 	// directions, so data, forward RM and backward RM cells are all at
 	// risk) for failure testing. Zero disables injection.
@@ -111,6 +116,37 @@ type ATMNet struct {
 	lastSample    sim.Time
 }
 
+// samplesHint sizes a sampled series from the planned run length: one point
+// per sampling period plus slack for the start/end samples. Zero (size
+// lazily) when no duration hint is available.
+func samplesHint(d, every sim.Duration) int {
+	if d <= 0 || every <= 0 {
+		return 0
+	}
+	return int(d/every) + 8
+}
+
+// Release returns every recorded series' point storage to the metrics pool.
+// Call it only when all reads of the series are done — parameter sweeps
+// build and discard a full network per point, and pooling the storage keeps
+// a sweep's allocation cost flat. The network is unusable afterwards.
+func (n *ATMNet) Release() {
+	for _, s := range n.ACR {
+		s.Release()
+	}
+	for _, s := range n.Goodput {
+		s.Release()
+	}
+	for _, s := range n.TrunkQueue {
+		s.Release()
+	}
+	for _, s := range n.FairShare {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
 // fairShareGetter extracts the per-port fair-share estimate from a known
 // algorithm type, for the FairShare figures.
 func fairShareGetter(alg switchalg.Algorithm) func() float64 {
@@ -157,6 +193,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 	}
 	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &ATMNet{Engine: e, Config: cfg}
+	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
 
 	// Switches.
 	for i := 0; i < cfg.Switches; i++ {
@@ -184,7 +221,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		fwdPorts[k] = n.Switches[k].AddPort(e, fl, alg)
 		revPorts[k] = n.Switches[k+1].AddPort(e, rl, nil)
 		n.trunks = append(n.trunks, fl)
-		n.TrunkQueue = append(n.TrunkQueue, metrics.NewSeries(fmt.Sprintf("queue[%s]", fl.Name)))
+		n.TrunkQueue = append(n.TrunkQueue, metrics.AcquireSeries(fmt.Sprintf("queue[%s]", fl.Name), hint))
 		n.PeakTrunkQueue = append(n.PeakTrunkQueue, 0)
 		k := k
 		fl.OnQueue = func(_ sim.Time, q int) {
@@ -199,7 +236,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			}
 		}
 		if alg != nil {
-			n.FairShare = append(n.FairShare, metrics.NewSeries(fmt.Sprintf("fairshare[%s]", fl.Name)))
+			n.FairShare = append(n.FairShare, metrics.AcquireSeries(fmt.Sprintf("fairshare[%s]", fl.Name), hint))
 		} else {
 			n.FairShare = append(n.FairShare, nil)
 		}
@@ -250,7 +287,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			n.Switches[k].Route(vc, fwd, bwd)
 		}
 
-		acr := metrics.NewSeries(fmt.Sprintf("ACR[%s]", spec.Name))
+		acr := metrics.AcquireSeries(fmt.Sprintf("ACR[%s]", spec.Name), hint)
 		if cfg.Trace != nil {
 			name := spec.Name
 			src.OnRateChange = func(now sim.Time, r float64) {
@@ -261,7 +298,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
 		}
 		n.ACR = append(n.ACR, acr)
-		n.Goodput = append(n.Goodput, metrics.NewSeries(fmt.Sprintf("goodput[%s]", spec.Name)))
+		n.Goodput = append(n.Goodput, metrics.AcquireSeries(fmt.Sprintf("goodput[%s]", spec.Name), hint))
 		n.Sources = append(n.Sources, src)
 		n.Dests = append(n.Dests, dest)
 		n.lastDelivered = append(n.lastDelivered, 0)

@@ -45,6 +45,9 @@ type TCPConfig struct {
 	Disc func() ip.Discipline
 	// SampleEvery is the series sampling period (default 10 ms).
 	SampleEvery sim.Duration
+	// Duration, when set, is the planned run length — a sizing hint letting
+	// the recorded series pre-allocate their points (see ATMConfig.Duration).
+	Duration sim.Duration
 	// TrunkLossRate injects random packet loss on every trunk (both
 	// directions) for failure testing. Zero disables injection.
 	TrunkLossRate float64
@@ -99,6 +102,28 @@ type TCPNet struct {
 	lastSample    sim.Time
 }
 
+// Release returns every recorded series' point storage to the metrics pool;
+// call only when all reads are done. The network is unusable afterwards.
+func (n *TCPNet) Release() {
+	for _, s := range n.Cwnd {
+		s.Release()
+	}
+	for _, s := range n.FlowRate {
+		s.Release()
+	}
+	for _, s := range n.Goodput {
+		s.Release()
+	}
+	for _, s := range n.TrunkQueue {
+		s.Release()
+	}
+	for _, s := range n.MACR {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
 // BuildTCP wires the scenario and starts the senders.
 func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 	cfg.setDefaults()
@@ -120,6 +145,7 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 	}
 	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &TCPNet{Engine: e, Config: cfg}
+	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
 	for i := 0; i < cfg.Routers; i++ {
 		n.Routers = append(n.Routers, ip.NewRouter(fmt.Sprintf("R%d", i)))
 	}
@@ -134,7 +160,7 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 		if cfg.Disc != nil {
 			d := cfg.Disc()
 			if pd, ok := d.(*ip.PhantomDiscipline); ok {
-				macrSeries = metrics.NewSeries(fmt.Sprintf("MACR[F%d]", k))
+				macrSeries = metrics.AcquireSeries(fmt.Sprintf("MACR[F%d]", k), hint)
 				ms := macrSeries
 				pd.OnTick = func(now sim.Time, _, macr float64) { ms.Add(now, macr) }
 			}
@@ -149,7 +175,7 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 		}
 		fwdTrunk[k], revTrunk[k] = fp, rp
 		n.trunks = append(n.trunks, fp)
-		n.TrunkQueue = append(n.TrunkQueue, metrics.NewSeries(fmt.Sprintf("queue[F%d]", k)))
+		n.TrunkQueue = append(n.TrunkQueue, metrics.AcquireSeries(fmt.Sprintf("queue[F%d]", k), hint))
 		n.MACR = append(n.MACR, macrSeries)
 		n.PeakTrunkQueue = append(n.PeakTrunkQueue, 0)
 		k := k
@@ -214,18 +240,18 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 				if f != flow {
 					return
 				}
-				en.After(delay, func(en2 *sim.Engine) { snd.Quench(en2) })
+				en.AfterFunc(delay, deliverQuench, sim.Payload{Obj: snd})
 			}
 		}
 
-		cwnd := metrics.NewSeries(fmt.Sprintf("cwnd[%s]", spec.Name))
+		cwnd := metrics.AcquireSeries(fmt.Sprintf("cwnd[%s]", spec.Name), hint)
 		snd.OnCwnd = func(now sim.Time, w float64) { cwnd.Add(now, w) }
-		rate := metrics.NewSeries(fmt.Sprintf("CR[%s]", spec.Name))
+		rate := metrics.AcquireSeries(fmt.Sprintf("CR[%s]", spec.Name), hint)
 		snd.OnRate = func(now sim.Time, r float64) { rate.Add(now, r) }
 
 		n.Cwnd = append(n.Cwnd, cwnd)
 		n.FlowRate = append(n.FlowRate, rate)
-		n.Goodput = append(n.Goodput, metrics.NewSeries(fmt.Sprintf("goodput[%s]", spec.Name)))
+		n.Goodput = append(n.Goodput, metrics.AcquireSeries(fmt.Sprintf("goodput[%s]", spec.Name), hint))
 		n.Senders = append(n.Senders, snd)
 		n.Receivers = append(n.Receivers, rcv)
 		n.lastDelivered = append(n.lastDelivered, 0)
@@ -237,6 +263,12 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 
 	e.Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(en.Now()) })
 	return n, nil
+}
+
+// deliverQuench hands a propagated Source Quench to the sender; typed so a
+// quench storm does not allocate a closure per signal.
+func deliverQuench(e *sim.Engine, p sim.Payload) {
+	p.Obj.(*tcp.Sender).Quench(e)
 }
 
 // sample records the sampled series.

@@ -12,19 +12,48 @@ const maxTime = Time(math.MaxInt64)
 // so it can schedule follow-up events without capturing it in a closure.
 type Handler func(e *Engine)
 
+// Payload is the small value argument carried inside a pooled event cell
+// for the typed scheduling API (AtFunc/AfterFunc). It exists so that the
+// data plane can schedule per-cell and per-packet work without allocating a
+// closure per event: the component stores a fixed package-level TypedHandler
+// and passes itself (and any in-flight object) through the payload.
+//
+// Obj and Aux hold pointer-shaped values (component pointers, packets);
+// storing a pointer in an interface does not allocate. I and F are scalar
+// slots for counts, sequence numbers or rates. The whole struct is copied
+// into the event cell by value.
+type Payload struct {
+	Obj any
+	Aux any
+	I   int64
+	F   float64
+}
+
+// TypedHandler is the callback form of the typed scheduling API: a fixed
+// function (package-level, or stored once per component) that receives the
+// payload stashed in the event cell. Unlike a closure handed to At/After,
+// scheduling a TypedHandler allocates nothing once the engine's event-cell
+// pool is warm.
+type TypedHandler func(e *Engine, p Payload)
+
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant: earlier-scheduled events fire first, which is what
 // makes runs deterministic. Cells are pooled per engine: after an event
 // fires (or a cancelled event is drained) its cell goes back on the free
 // list and gen is bumped so outstanding EventRefs go stale instead of
 // touching the cell's next occupant.
+//
+// Exactly one of fn and tfn is set; tfn carries its argument in payload.
 type event struct {
 	at      Time
 	seq     uint64
 	gen     uint64
 	fn      Handler
+	tfn     TypedHandler
+	payload Payload
 	stopped bool
-	index   int // position in the heap backend, -1 when popped
+	index   int    // position in the heap backend, -1 when popped
+	next    *event // intrusive slot-list link in the wheel backend
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
@@ -136,11 +165,16 @@ func (e *Engine) alloc() *event {
 }
 
 // recycle expires outstanding refs to ev and returns its cell to the pool.
+// The payload is cleared so the pool does not pin components or packets
+// beyond the event's lifetime.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.tfn = nil
+	ev.payload = Payload{}
 	ev.stopped = false
 	ev.index = -1
+	ev.next = nil
 	e.free = append(e.free, ev)
 }
 
@@ -164,6 +198,31 @@ func (e *Engine) At(t Time, fn Handler) EventRef {
 // After schedules fn to run d from now. Negative delays panic via At.
 func (e *Engine) After(d Duration, fn Handler) EventRef {
 	return e.At(e.now.Add(d), fn)
+}
+
+// AtFunc schedules fn to run at absolute time t with p as its argument.
+// It is the zero-allocation counterpart of At: fn is a fixed function and p
+// is stored by value in the pooled event cell, so the data plane can
+// schedule per-cell work without allocating a closure per event. Ordering
+// is identical to At — typed and plain events share one sequence space.
+func (e *Engine) AtFunc(t Time, fn TypedHandler, p Payload) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.tfn, ev.payload = t, e.seq, fn, p
+	e.seq++
+	e.sched.schedule(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AfterFunc schedules fn to run d from now with p as its argument, the
+// zero-allocation counterpart of After.
+func (e *Engine) AfterFunc(d Duration, fn TypedHandler, p Payload) EventRef {
+	return e.AtFunc(e.now.Add(d), fn, p)
 }
 
 // Every schedules fn to run every period, starting one period from now, until
@@ -228,11 +287,15 @@ func (e *Engine) runTo(deadline Time) uint64 {
 		}
 		e.now = next.at
 		e.fired++
-		fn := next.fn
+		fn, tfn, pl := next.fn, next.tfn, next.payload
 		// Recycle before firing: the handler is the cell's last user, and
 		// returning it first lets fn's own follow-up schedule reuse it.
 		e.recycle(next)
-		fn(e)
+		if tfn != nil {
+			tfn(e, pl)
+		} else {
+			fn(e)
+		}
 	}
 	return e.fired - start
 }

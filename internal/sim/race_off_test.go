@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is on; alloc-count
+// assertions are skipped under -race because instrumentation allocates.
+const raceEnabled = false

@@ -93,12 +93,17 @@ func (r *Receiver) Receive(e *sim.Engine, p *ip.Packet) {
 		if delay == 0 {
 			delay = 200 * sim.Millisecond
 		}
-		r.ackTimer = e.After(delay, func(en *sim.Engine) {
-			r.ackTimer = sim.EventRef{}
-			if r.unacked > 0 {
-				r.sendAck(en)
-			}
-		})
+		r.ackTimer = e.AfterFunc(delay, receiverAckTimeout, sim.Payload{Obj: r})
+	}
+}
+
+// receiverAckTimeout fires the delayed-ACK timer; typed so arming it per
+// in-order segment allocates nothing.
+func receiverAckTimeout(e *sim.Engine, p sim.Payload) {
+	r := p.Obj.(*Receiver)
+	r.ackTimer = sim.EventRef{}
+	if r.unacked > 0 {
+		r.sendAck(e)
 	}
 }
 

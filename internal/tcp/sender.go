@@ -249,10 +249,16 @@ func (s *Sender) transmit(e *sim.Engine, seq int64, isRetransmit bool) {
 	s.Out.Receive(e, p)
 }
 
-// armTimer (re)starts the retransmission timer.
+// armTimer (re)starts the retransmission timer. A typed callback: the timer
+// re-arms on every transmission and cumulative ACK, so a closure here would
+// allocate once per segment exchanged.
 func (s *Sender) armTimer(e *sim.Engine) {
 	s.timer.Cancel()
-	s.timer = e.After(s.rto, func(en *sim.Engine) { s.onTimeout(en) })
+	s.timer = e.AfterFunc(s.rto, senderTimeout, sim.Payload{Obj: s})
+}
+
+func senderTimeout(e *sim.Engine, p sim.Payload) {
+	p.Obj.(*Sender).onTimeout(e)
 }
 
 // onTimeout is the RTO expiry path: multiplicative backoff, window to one

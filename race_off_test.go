@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector is on; allocation-budget
+// assertions are skipped under -race because instrumentation allocates.
+const raceEnabled = false
