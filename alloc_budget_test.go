@@ -5,9 +5,12 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // The PR 2 cell-path cost on this workload, from the committed
@@ -76,6 +79,37 @@ func measureSuiteE01(t testing.TB, kind sim.SchedulerKind) backendStats {
 	return backendStats{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
 }
 
+// measureSuiteE01Telemetry is measureSuiteE01 with the full observability
+// stack on: a counter registry and a flight recorder at the CLI ring
+// capacity. The registry and ring are created once and Reset per op, the
+// reuse pattern the suite's sweeps use, so the measurement is the
+// steady-state cost of observing the run — budgeted at ≤2× the disabled
+// path.
+func measureSuiteE01Telemetry(t testing.TB, kind sim.SchedulerKind) backendStats {
+	def, ok := exp.Get("E01")
+	if !ok {
+		t.Fatal("E01 not registered")
+	}
+	d := runner.QuickDuration("E01")
+	reg := telemetry.New()
+	tr := trace.New(cli.TraceRingCap)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reg.Reset()
+			tr.Reset()
+			res, err := exp.Execute(def, exp.Options{Quiet: true, Duration: d, Scheduler: kind, Telemetry: reg, Trace: tr}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Counters) == 0 || tr.Seen() == 0 {
+				b.Fatal("telemetry-on run recorded nothing")
+			}
+		}
+	})
+	return backendStats{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+}
+
 // TestAllocBudget enforces the committed allocation budgets on both
 // scheduler backends. It runs in the ordinary test suite (CI's
 // bench-cellpath job runs it explicitly) so a change that reintroduces a
@@ -93,12 +127,14 @@ func TestAllocBudget(t *testing.T) {
 	for _, kind := range sim.SchedulerKinds() {
 		hot := measureHotPath(kind)
 		suite := measureSuiteE01(t, kind)
+		suiteTel := measureSuiteE01Telemetry(t, kind)
 		for _, m := range []struct {
 			workload string
 			got      backendStats
 		}{
 			{"engine_hot_path_1000_events", hot},
 			{"suite_e01_quick", suite},
+			{"suite_e01_quick_telemetry", suiteTel},
 		} {
 			budget, ok := bf.Budgets[m.workload][string(kind)]
 			if !ok {

@@ -27,7 +27,7 @@ var aliases = map[string]string{
 
 func main() {
 	c := cli.New("phantom-atm",
-		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile)
+		cli.FlagDuration|cli.FlagQuiet|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace)
 	list := flag.Bool("list", false, "list available experiments")
 	id := flag.String("exp", "", "experiment ID to run (e.g. E01, or a paper ref like fig3)")
 	all := flag.Bool("all", false, "run every ATM experiment (E01–E08, E14–E17, A01–A03)")

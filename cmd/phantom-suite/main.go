@@ -17,6 +17,12 @@
 //	                comparison still applies
 //	-golden dir     golden directory (default testdata/golden)
 //	-update-golden  rewrite the golden baselines from this run
+//	-telemetry      give every job a counter registry; report per-experiment
+//	                counters and fleet totals (text and -json schema v2)
+//	-trace-dir d    keep a flight recorder per job and export each job's
+//	                retained events to d/<id>.jsonl
+//	-http addr      serve live fleet progress while the suite runs:
+//	                /status (JSON) and /metrics (Prometheus text)
 //	-json           machine-readable output
 //	-list           list matching experiments and exit
 //	-v              print each experiment's notes
@@ -24,7 +30,9 @@
 // The suite exits non-zero when any experiment fails or any metric drifts
 // beyond its tolerance from the golden baseline. Baselines are recorded at a
 // specific simulated duration; runs at other durations skip the comparison
-// rather than reporting false drift.
+// rather than reporting false drift. Telemetry and tracing observe runs
+// without perturbing them: metric results (and hence golden comparison) are
+// bit-identical with the flags on or off.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"regexp"
 	"sort"
@@ -42,6 +52,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 type suiteConfig struct {
@@ -52,6 +64,9 @@ type suiteConfig struct {
 	scheduler    sim.SchedulerKind
 	goldenDir    string
 	updateGolden bool
+	telemetry    bool
+	traceDir     string
+	httpAddr     string
 	jsonOut      bool
 	list         bool
 	verbose      bool
@@ -59,10 +74,11 @@ type suiteConfig struct {
 
 func main() {
 	c := cli.New("phantom-suite",
-		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile)
+		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace)
 	var (
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
+		httpAddr     = flag.String("http", "", "serve live fleet progress and counters on this address (e.g. :8080)")
 		list         = flag.Bool("list", false, "list matching experiments and exit")
 		verbose      = flag.Bool("v", false, "print experiment notes")
 	)
@@ -72,11 +88,109 @@ func main() {
 		filter: c.FilterRegexp(), workers: c.Workers,
 		duration: sim.Duration(c.Duration), quick: c.Quick, scheduler: c.Scheduler,
 		goldenDir: *goldenDir, updateGolden: *updateGolden,
+		telemetry: c.Telemetry, traceDir: c.TraceDir, httpAddr: *httpAddr,
 		jsonOut: c.JSON, list: *list, verbose: *verbose,
 	}
 	code := run(cfg)
 	c.Close()
 	os.Exit(code)
+}
+
+// liveState is the mutable fleet view behind -http. The hook and OnResult
+// callbacks run on worker goroutines, so every access locks; handlers read
+// a consistent snapshot under the same lock.
+type liveState struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	running  map[string]bool
+	done     int
+	failed   int
+	counters map[string]uint64
+}
+
+func newLiveState(total int) *liveState {
+	return &liveState{
+		start:    time.Now(),
+		total:    total,
+		running:  make(map[string]bool),
+		counters: make(map[string]uint64),
+	}
+}
+
+func (s *liveState) hook(id string, phase exp.Phase, _ error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch phase {
+	case exp.PhaseStart:
+		s.running[id] = true
+	case exp.PhaseDone, exp.PhaseFailed:
+		delete(s.running, id)
+	}
+}
+
+func (s *liveState) onResult(r runner.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	if r.Err != nil {
+		s.failed++
+	}
+	if r.Res != nil {
+		telemetry.Merge(s.counters, r.Res.Counters)
+	}
+}
+
+// snapshot returns a detached copy for a handler to render lock-free.
+func (s *liveState) snapshot() (running []string, done, failed, total int, counters map[string]uint64, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.running {
+		running = append(running, id)
+	}
+	sort.Strings(running)
+	counters = make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		counters[k] = v
+	}
+	return running, s.done, s.failed, s.total, counters, time.Since(s.start)
+}
+
+// serveLive starts the -http listener and returns a closer. Handlers:
+// /status (JSON progress + merged counters) and /metrics (Prometheus text).
+func serveLive(addr string, state *liveState) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		running, done, failed, total, counters, elapsed := state.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			SchemaVersion int               `json:"schema_version"`
+			Total         int               `json:"total"`
+			Done          int               `json:"done"`
+			Failed        int               `json:"failed"`
+			Running       []string          `json:"running"`
+			ElapsedMS     float64           `json:"elapsed_ms"`
+			Counters      map[string]uint64 `json:"counters,omitempty"`
+		}{exp.SchemaVersion, total, done, failed, running,
+			float64(elapsed) / float64(time.Millisecond), counters})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		running, done, failed, total, counters, _ := state.snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# TYPE phantom_suite_jobs untyped\n")
+		fmt.Fprintf(w, "phantom_suite_jobs{state=\"total\"} %d\n", total)
+		fmt.Fprintf(w, "phantom_suite_jobs{state=\"done\"} %d\n", done)
+		fmt.Fprintf(w, "phantom_suite_jobs{state=\"failed\"} %d\n", failed)
+		fmt.Fprintf(w, "phantom_suite_jobs{state=\"running\"} %d\n", len(running))
+		telemetry.WriteProm(w, counters, nil)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
 }
 
 func run(cfg suiteConfig) int {
@@ -99,10 +213,20 @@ func run(cfg suiteConfig) int {
 	}
 
 	jobs := make([]runner.Job, len(defs))
+	var tracers []*trace.Tracer
+	if cfg.traceDir != "" {
+		tracers = make([]*trace.Tracer, len(defs))
+	}
 	for i, d := range defs {
 		o := exp.Options{Quiet: true, Duration: cfg.duration, Scheduler: cfg.scheduler}
 		if cfg.quick && o.Duration == 0 {
 			o.Duration = runner.QuickDuration(d.ID)
+		}
+		if tracers != nil {
+			// One flight recorder per job: tracers, like engines and
+			// registries, are single-goroutine.
+			tracers[i] = trace.New(cli.TraceRingCap)
+			o.Trace = tracers[i]
 		}
 		jobs[i] = runner.Job{Def: d, Opts: o}
 	}
@@ -119,19 +243,48 @@ func run(cfg suiteConfig) int {
 			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", id, err)
 		}
 	}
-	fleet := &runner.Fleet{Workers: cfg.workers, Hook: hook}
+	fleet := &runner.Fleet{Workers: cfg.workers, Hook: hook, Telemetry: cfg.telemetry}
+	if cfg.httpAddr != "" {
+		state := newLiveState(len(jobs))
+		fleet.Hook = func(id string, phase exp.Phase, err error) {
+			state.hook(id, phase, err)
+			hook(id, phase, err)
+		}
+		fleet.OnResult = state.onResult
+		stop, err := serveLive(cfg.httpAddr, state)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -http:", err)
+			return 2
+		}
+		defer stop()
+	}
 	results, stats := fleet.Run(jobs)
+
+	if tracers != nil {
+		for i, tr := range tracers {
+			path, err := cli.ExportTrace(cfg.traceDir, jobs[i].Label(), tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phantom-suite: trace export:", err)
+				return 2
+			}
+			if cfg.verbose && !cfg.jsonOut {
+				fmt.Fprintf(os.Stderr, "trace %s: %d events retained (%d seen) → %s\n",
+					jobs[i].Label(), len(tr.Events()), tr.Seen(), path)
+			}
+		}
+	}
 
 	exitCode := 0
 	type report struct {
-		ID      string             `json:"id"`
-		WallMS  float64            `json:"wall_ms"`
-		SimNS   int64              `json:"sim_nanos"`
-		Error   string             `json:"error,omitempty"`
-		Drifts  []string           `json:"drifts,omitempty"`
-		Golden  string             `json:"golden"` // ok | drift | updated | none | skipped | n/a
-		Summary map[string]float64 `json:"summary,omitempty"`
-		Notes   []string           `json:"notes,omitempty"`
+		ID       string             `json:"id"`
+		WallMS   float64            `json:"wall_ms"`
+		SimNS    int64              `json:"sim_nanos"`
+		Error    string             `json:"error,omitempty"`
+		Drifts   []string           `json:"drifts,omitempty"`
+		Golden   string             `json:"golden"` // ok | drift | updated | none | skipped | n/a
+		Summary  map[string]float64 `json:"summary,omitempty"`
+		Counters map[string]uint64  `json:"counters,omitempty"`
+		Notes    []string           `json:"notes,omitempty"`
 	}
 	reports := make([]report, 0, len(results))
 	tol := runner.DefaultTolerance()
@@ -148,6 +301,7 @@ func run(cfg suiteConfig) int {
 			continue
 		}
 		rep.Summary = r.Res.Summary
+		rep.Counters = r.Res.Counters
 		if cfg.verbose {
 			rep.Notes = r.Res.Notes
 		}
@@ -187,21 +341,22 @@ func run(cfg suiteConfig) int {
 
 	if cfg.jsonOut {
 		out := struct {
-			SchemaVersion int      `json:"schema_version"`
-			Results       []report `json:"results"`
-			Wall          float64  `json:"wall_ms"`
-			Work          float64  `json:"work_ms"`
-			Speedup       float64  `json:"work_wall_ratio"`
-			SimSec        float64  `json:"sim_seconds"`
-			Workers       int      `json:"workers"`
-			Failed        int      `json:"failed"`
-			Mallocs       uint64   `json:"mallocs"`
-			AllocBytes    uint64   `json:"alloc_bytes"`
-			AllocsPerRun  float64  `json:"allocs_per_run"`
+			SchemaVersion int               `json:"schema_version"`
+			Results       []report          `json:"results"`
+			Wall          float64           `json:"wall_ms"`
+			Work          float64           `json:"work_ms"`
+			Speedup       float64           `json:"work_wall_ratio"`
+			SimSec        float64           `json:"sim_seconds"`
+			Workers       int               `json:"workers"`
+			Failed        int               `json:"failed"`
+			Mallocs       uint64            `json:"mallocs"`
+			AllocBytes    uint64            `json:"alloc_bytes"`
+			AllocsPerRun  float64           `json:"allocs_per_run"`
+			Counters      map[string]uint64 `json:"counters,omitempty"`
 		}{exp.SchemaVersion, reports, float64(stats.Wall) / float64(time.Millisecond),
 			float64(stats.WorkWall) / float64(time.Millisecond),
 			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed,
-			stats.Mallocs, stats.AllocBytes, stats.AllocsPerRun()}
+			stats.Mallocs, stats.AllocBytes, stats.AllocsPerRun(), stats.Counters}
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phantom-suite:", err)
@@ -233,5 +388,9 @@ func run(cfg suiteConfig) int {
 		stats.Runs, stats.Failed, stats.Wall.Round(time.Millisecond),
 		stats.WorkWall.Round(time.Millisecond), stats.Speedup(), stats.Workers,
 		stats.SimPerWallSecond(), stats.AllocsPerRun(), float64(stats.AllocBytes)/1e6)
+	if len(stats.Counters) > 0 {
+		fmt.Println("\nfleet counter totals:")
+		telemetry.WriteText(os.Stdout, stats.Counters, "  ")
+	}
 	return exitCode
 }

@@ -1,0 +1,147 @@
+// Command phantom-trace inspects flight-recorder exports: the JSONL files
+// written by the -trace-dir flag of phantom-suite / phantom-atm /
+// phantom-tcp. It loads one or more exports, filters by component, kind,
+// detail substring and time window, and either prints the matching events,
+// summarizes them per (component, kind), or re-emits them as JSONL for
+// further piping.
+//
+// Usage:
+//
+//	phantom-trace [flags] file.jsonl [file.jsonl ...]
+//
+//	-component s   substring match on the component name (e.g. 'F0', 'edge')
+//	-kind s        substring match on the event kind (e.g. 'drop', 'rate')
+//	-detail s      substring match on the formatted fields ('vc=3')
+//	-from d        window start in simulated time (e.g. 100ms)
+//	-to d          window end in simulated time (0 = unbounded)
+//	-summary       print per-(component, kind) counts and rates, not events
+//	-json          re-emit the filtered events as JSONL on stdout
+//
+// Exit status is 0 even when nothing matches (an empty selection is an
+// answer); 1 on unreadable or malformed input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		component = flag.String("component", "", "substring match on the component name")
+		kind      = flag.String("kind", "", "substring match on the event kind")
+		detail    = flag.String("detail", "", "substring match on the formatted fields")
+		from      = flag.Duration("from", 0, "window start in simulated time (e.g. 100ms)")
+		to        = flag.Duration("to", 0, "window end in simulated time (0 = unbounded)")
+		summary   = flag.Bool("summary", false, "print per-(component, kind) counts and rates instead of events")
+		jsonOut   = flag.Bool("json", false, "re-emit the filtered events as JSONL")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "phantom-trace: no input files (expected JSONL exports from -trace-dir)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var events []trace.Event
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		events = append(events, evs...)
+	}
+	// Multiple inputs concatenate; restore the global chronology so windows
+	// and summaries read the same as a single merged recording. The sort is
+	// stable so events of one file keep their (time-tied) emission order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+
+	q := trace.Query{
+		Component: *component,
+		Kind:      *kind,
+		Detail:    *detail,
+		From:      sim.Time(*from),
+		To:        sim.Time(*to),
+	}
+	matched := trace.SelectEvents(events, q)
+
+	switch {
+	case *jsonOut:
+		if err := trace.WriteJSONL(os.Stdout, matched); err != nil {
+			fatal(err)
+		}
+	case *summary:
+		printSummary(matched)
+	default:
+		for _, e := range matched {
+			fmt.Println(e.String())
+		}
+	}
+}
+
+// printSummary renders per-(component, kind) counts and event rates over
+// each group's own first-to-last span, then a total line.
+func printSummary(events []trace.Event) {
+	if len(events) == 0 {
+		fmt.Println("0 events")
+		return
+	}
+	type stats struct {
+		count       int
+		first, last sim.Time
+	}
+	groups := map[string]*stats{}
+	for i := range events {
+		e := &events[i]
+		key := e.Component + "\x00" + e.Kind
+		g, ok := groups[key]
+		if !ok {
+			g = &stats{first: e.T, last: e.T}
+			groups[key] = g
+		}
+		g.count++
+		if e.T < g.first {
+			g.first = e.T
+		}
+		if e.T > g.last {
+			g.last = e.T
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-16s %-12s %10s %12s %12s %12s\n",
+		"component", "kind", "count", "first", "last", "rate/s")
+	for _, k := range keys {
+		g := groups[k]
+		sep := strings.IndexByte(k, 0)
+		comp, kind := k[:sep], k[sep+1:]
+		rate := 0.0
+		if span := g.last.Sub(g.first).Seconds(); span > 0 {
+			rate = float64(g.count) / span
+		}
+		fmt.Printf("%-16s %-12s %10d %12s %12s %12.1f\n",
+			comp, kind, g.count, g.first, g.last, rate)
+	}
+	span := events[len(events)-1].T.Sub(events[0].T)
+	fmt.Printf("\n%d events over %v of simulated time\n", len(events), time.Duration(span))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phantom-trace:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package atm
 
 import (
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,29 @@ type Source struct {
 	sendPending  bool
 	sendRef      sim.EventRef
 	started      bool
+
+	tel sourceTel
+}
+
+// sourceTel holds the source's pre-resolved telemetry handles (inert without
+// a registry).
+type sourceTel struct {
+	cellsSent   telemetry.Counter
+	rmInRate    telemetry.Counter
+	rmOutOfRate telemetry.Counter
+	brmSeen     telemetry.Counter
+	rateChanges telemetry.Counter
+}
+
+// Instrument registers the source's counters with reg.
+func (s *Source) Instrument(reg *telemetry.Registry) {
+	s.tel = sourceTel{
+		cellsSent:   reg.Counter("source.cells_sent"),
+		rmInRate:    reg.Counter("source.rm_in_rate"),
+		rmOutOfRate: reg.Counter("source.rm_out_of_rate"),
+		brmSeen:     reg.Counter("source.brm_seen"),
+		rateChanges: reg.Counter("source.rate_changes"),
+	}
 }
 
 // NewSource constructs a source; parameters are validated at Start.
@@ -114,7 +138,10 @@ func (s *Source) emitRM(e *sim.Engine, outOfRate bool) {
 	s.cellsSent++
 	s.lastRM = e.Now()
 	s.everRM = true
-	if !outOfRate {
+	if outOfRate {
+		s.tel.rmOutOfRate.Inc()
+	} else {
+		s.tel.rmInRate.Inc()
 		s.everSent = true
 		s.lastSend = e.Now()
 		s.sinceRM = 0
@@ -181,6 +208,7 @@ func (s *Source) sendCell(e *sim.Engine) {
 	c := Cell{VC: s.VC, Kind: Data, SentAt: e.Now()}
 	s.sinceRM++
 	s.cellsSent++
+	s.tel.cellsSent.Inc()
 	s.everSent = true
 	s.lastSend = e.Now()
 	s.Out.Receive(e, c)
@@ -195,6 +223,7 @@ func (s *Source) Receive(e *sim.Engine, c Cell) {
 		return
 	}
 	s.bRMsSeen++
+	s.tel.brmSeen.Inc()
 	s.unansweredRM = 0
 	s.setACR(e.Now(), s.Params.AdjustACRNI(s.acr, c.CI, c.NI, c.ER))
 }
@@ -207,6 +236,7 @@ func (s *Source) setACR(now sim.Time, acr float64) {
 		return
 	}
 	s.acr = acr
+	s.tel.rateChanges.Inc()
 	if s.OnRateChange != nil {
 		s.OnRateChange(now, acr)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -65,6 +66,30 @@ type Link struct {
 	busy    bool
 	dropped int64
 	sent    int64
+
+	tel linkTel
+}
+
+// linkTel holds the link's pre-resolved telemetry handles. Instrument fills
+// them; with no registry they stay inert zero handles, so the hot path bumps
+// them unconditionally.
+type linkTel struct {
+	sent      telemetry.Counter
+	dropped   telemetry.Counter
+	lost      telemetry.Counter
+	queuePeak telemetry.Gauge
+}
+
+// Instrument registers the link's counters with reg (class-level names, so
+// every link in a scenario shares the accumulators). A nil reg yields inert
+// handles.
+func (l *Link) Instrument(reg *telemetry.Registry) {
+	l.tel = linkTel{
+		sent:      reg.Counter("link.cells_sent"),
+		dropped:   reg.Counter("link.cells_dropped"),
+		lost:      reg.Counter("link.cells_lost"),
+		queuePeak: reg.Gauge("link.queue_cells_peak"),
+	}
 }
 
 // NewLink builds a link with the given line rate (cells/s), propagation
@@ -102,17 +127,20 @@ func (l *Link) Receive(e *sim.Engine, c atm.Cell) {
 		}
 		if l.lossRNG.Float64() < l.LossRate {
 			l.lost++
+			l.tel.lost.Inc()
 			return
 		}
 	}
 	if l.MaxQueue > 0 && l.QueueLen() >= l.MaxQueue {
 		l.dropped++
+		l.tel.dropped.Inc()
 		if l.OnDrop != nil {
 			l.OnDrop(e.Now(), c)
 		}
 		return
 	}
 	l.queue.Push(c)
+	l.tel.queuePeak.Observe(uint64(l.QueueLen()))
 	if l.OnQueue != nil {
 		l.OnQueue(e.Now(), l.QueueLen())
 	}
@@ -136,6 +164,7 @@ func linkTxDone(e *sim.Engine, p sim.Payload) {
 	c := l.queue.Pop()
 	l.busy = false
 	l.sent++
+	l.tel.sent.Inc()
 	if l.OnQueue != nil {
 		l.OnQueue(e.Now(), l.QueueLen())
 	}

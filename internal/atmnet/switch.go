@@ -6,6 +6,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/sim"
 	"repro/internal/switchalg"
+	"repro/internal/telemetry"
 )
 
 // Port is one switch output port: a link plus the rate-control algorithm
@@ -38,6 +39,25 @@ type Switch struct {
 	// heap allocation. Safe because algorithm callbacks never re-enter
 	// Receive — downstream delivery always goes through a scheduled event.
 	scratch atm.Cell
+
+	tel switchTel
+}
+
+// switchTel counts cells routed by direction/kind; handles are inert without
+// a registry.
+type switchTel struct {
+	data telemetry.Counter
+	fRM  telemetry.Counter
+	bRM  telemetry.Counter
+}
+
+// Instrument registers the switch's routing counters with reg.
+func (s *Switch) Instrument(reg *telemetry.Registry) {
+	s.tel = switchTel{
+		data: reg.Counter("switch.cells_data"),
+		fRM:  reg.Counter("switch.cells_frm"),
+		bRM:  reg.Counter("switch.cells_brm"),
+	}
 }
 
 // NewSwitch returns an empty switch.
@@ -82,6 +102,7 @@ func (s *Switch) Receive(e *sim.Engine, c atm.Cell) {
 	now := e.Now()
 	s.scratch = c
 	if c.Kind == atm.BackwardRM {
+		s.tel.bRM.Inc()
 		if fp := s.fwd[c.VC]; fp != nil && fp.Alg != nil {
 			fp.Alg.OnBackwardRM(now, &s.scratch)
 		}
@@ -95,6 +116,11 @@ func (s *Switch) Receive(e *sim.Engine, c atm.Cell) {
 	fp := s.fwd[c.VC]
 	if fp == nil {
 		panic(fmt.Sprintf("atmnet: switch %s has no forward route for VC %d", s.Name, c.VC))
+	}
+	if c.Kind == atm.ForwardRM {
+		s.tel.fRM.Inc()
+	} else {
+		s.tel.data.Inc()
 	}
 	if fp.Alg != nil {
 		fp.Alg.OnArrival(now, &s.scratch)

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
@@ -18,6 +19,8 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Flags selects which common flags a command registers.
@@ -41,7 +44,18 @@ const (
 	// FlagProfile registers -cpuprofile and -memprofile: write pprof
 	// profiles of the run for performance work on the cell path.
 	FlagProfile
+	// FlagTelemetry registers -telemetry: record per-component counters and
+	// report them with the results.
+	FlagTelemetry
+	// FlagTrace registers -trace-dir: keep a flight recorder per run and
+	// export its retained events as JSONL under the given directory.
+	FlagTrace
 )
+
+// TraceRingCap is the per-run flight-recorder capacity behind -trace-dir:
+// enough to hold the interesting tail of a long run (the ring keeps the
+// newest events) while costing a few MB per run at most.
+const TraceRingCap = 1 << 16
 
 // Common holds the parsed common flags of one command invocation.
 type Common struct {
@@ -62,6 +76,11 @@ type Common struct {
 	Quick bool
 	// Scheduler is the validated engine backend selected by -scheduler.
 	Scheduler sim.SchedulerKind
+	// Telemetry enables the counter registry for each run.
+	Telemetry bool
+	// TraceDir, when non-empty, is where each run's flight-recorder JSONL
+	// export lands.
+	TraceDir string
 
 	schedulerName string
 	cpuProfile    string
@@ -98,6 +117,14 @@ func New(prog string, flags Flags) *Common {
 	if flags&FlagProfile != 0 {
 		flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 		flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	}
+	if flags&FlagTelemetry != 0 {
+		flag.BoolVar(&c.Telemetry, "telemetry", false,
+			"record per-component counters and report them with the results")
+	}
+	if flags&FlagTrace != 0 {
+		flag.StringVar(&c.TraceDir, "trace-dir", "",
+			"export each run's flight-recorder events as JSONL files under this directory")
 	}
 	return c
 }
@@ -155,13 +182,37 @@ func (c *Common) Close() {
 	}
 }
 
-// Options converts the parsed flags into experiment options.
+// Options converts the parsed flags into experiment options. Each call
+// returns a fresh telemetry registry when -telemetry is set, so commands
+// that execute several experiments keep their counters separated.
 func (c *Common) Options() exp.Options {
-	return exp.Options{
+	o := exp.Options{
 		Duration:  sim.Duration(c.Duration),
 		Quiet:     c.Quiet || c.JSON,
 		Scheduler: c.Scheduler,
 	}
+	if c.Telemetry {
+		o.Telemetry = telemetry.New()
+	}
+	return o
+}
+
+// ExportTrace writes tr's retained events to dir/<id>.jsonl (the ID is
+// lower-cased), creating dir as needed, and returns the written path.
+func ExportTrace(dir, id string, tr *trace.Tracer) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, strings.ToLower(id)+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.ExportJSONL(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // FilterRegexp compiles -filter, exiting with a usage error when invalid.
@@ -219,9 +270,24 @@ func (c *Common) RunExperiment(id string) error {
 	if !c.JSON {
 		fmt.Printf("== %s (%s): %s\n", def.ID, def.PaperRef, def.Title)
 	}
-	res, err := exp.Execute(def, c.Options(), nil)
+	o := c.Options()
+	var tr *trace.Tracer
+	if c.TraceDir != "" {
+		tr = trace.New(TraceRingCap)
+		o.Trace = tr
+	}
+	res, err := exp.Execute(def, o, nil)
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		path, err := ExportTrace(c.TraceDir, def.ID, tr)
+		if err != nil {
+			return err
+		}
+		if !c.JSON {
+			fmt.Printf("  trace: %d events retained (%d seen) → %s\n", len(tr.Events()), tr.Seen(), path)
+		}
 	}
 	if c.JSON {
 		if res.Title == "" {
@@ -260,6 +326,10 @@ func PrintResult(res *exp.Result, quiet bool) {
 		for _, k := range keys {
 			fmt.Printf("  %-32s %v\n", k, res.Summary[k])
 		}
+	}
+	if len(res.Counters) > 0 {
+		fmt.Println("  telemetry:")
+		telemetry.WriteText(os.Stdout, res.Counters, "    ")
 	}
 	fmt.Println()
 }

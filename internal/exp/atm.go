@@ -28,6 +28,10 @@ func phantomTarget() float64 {
 func buildAndRun(cfg scenario.ATMConfig, d sim.Duration, o Options) (*scenario.ATMNet, error) {
 	cfg.Scheduler = o.Scheduler
 	cfg.Duration = d
+	cfg.Telemetry = o.Telemetry
+	if cfg.Trace == nil {
+		cfg.Trace = o.Trace
+	}
 	n, err := scenario.BuildATM(cfg)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,8 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Options tune a run without changing its meaning.
@@ -33,6 +35,17 @@ type Options struct {
 	// only: results are bit-identical across backends, which the golden
 	// snapshots verify. Empty picks the default.
 	Scheduler sim.SchedulerKind
+	// Telemetry, if non-nil, receives counters from every component the
+	// experiment builds. Experiments that build several networks (sweeps,
+	// comparisons) accumulate into the one registry, so the snapshot that
+	// Execute attaches to the Result covers the whole experiment. Telemetry
+	// observes a run without changing it: metric results are bit-identical
+	// with or without a registry, which the golden snapshots verify.
+	Telemetry *telemetry.Registry
+	// Trace, if non-nil, records structured flight-recorder events (drops,
+	// rate changes) from every scenario the experiment builds. Like
+	// Telemetry it never alters results.
+	Trace *trace.Tracer
 }
 
 // Result is an experiment's output.
@@ -43,6 +56,10 @@ type Result struct {
 	Tables  []string
 	// Summary holds the scalar metrics, keyed by stable names.
 	Summary map[string]float64
+	// Counters holds the telemetry snapshot of the run, keyed by dotted
+	// counter names ("link.cells_sent"). Nil unless the run was executed
+	// with Options.Telemetry; aggregate with telemetry.Merge.
+	Counters map[string]uint64
 	// Notes records the expected shape from the paper and what we saw.
 	Notes []string
 }
@@ -50,23 +67,29 @@ type Result struct {
 // SchemaVersion identifies the JSON layout emitted by Result.JSON and by
 // phantom-suite -json. Bump it on any breaking change to field names or
 // meanings so scripted consumers can detect incompatibility instead of
-// silently misreading. History: 1 — initial versioned schema
-// (schema_version, id, title, summary, notes; suite reports additionally
-// carry schema_version at the top level beside duration/results).
-const SchemaVersion = 1
+// silently misreading. History:
+//
+//	1 — initial versioned schema (schema_version, id, title, summary,
+//	    notes; suite reports additionally carry schema_version at the top
+//	    level beside duration/results).
+//	2 — telemetry: per-experiment "counters" object (dotted counter name →
+//	    value, present only when telemetry is enabled) and suite-level
+//	    "counters" fleet totals merged per telemetry.Merge.
+const SchemaVersion = 2
 
 // JSON renders the result as indented JSON: schema version, id, title,
-// summary metrics and notes (figures and tables are terminal artifacts and
-// are omitted). The CLIs expose it behind their -json flag for scripted
-// consumption.
+// summary metrics, telemetry counters (when recorded) and notes (figures
+// and tables are terminal artifacts and are omitted). The CLIs expose it
+// behind their -json flag for scripted consumption.
 func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(struct {
 		SchemaVersion int                `json:"schema_version"`
 		ID            string             `json:"id"`
 		Title         string             `json:"title,omitempty"`
 		Summary       map[string]float64 `json:"summary"`
+		Counters      map[string]uint64  `json:"counters,omitempty"`
 		Notes         []string           `json:"notes"`
-	}{SchemaVersion, r.ID, r.Title, r.Summary, r.Notes}, "", "  ")
+	}{SchemaVersion, r.ID, r.Title, r.Summary, r.Counters, r.Notes}, "", "  ")
 }
 
 // addf appends a formatted note.
@@ -199,6 +222,9 @@ func Execute(d Definition, o Options, hook Hook) (*Result, error) {
 			hook(d.ID, PhaseFailed, err)
 		}
 		return nil, err
+	}
+	if o.Telemetry != nil {
+		res.Counters = o.Telemetry.Snapshot()
 	}
 	if hook != nil {
 		hook(d.ID, PhaseDone, nil)

@@ -53,6 +53,8 @@ func init() {
 				Alg:       switchalg.NewPhantom(core.Config{}),
 				Flows:     flows,
 				Scheduler: o.Scheduler,
+				Telemetry: o.Telemetry,
+				Trace:     o.Trace,
 			})
 			if err != nil {
 				return nil, err

@@ -26,6 +26,8 @@ func fig14Flows() []scenario.TCPFlowSpec {
 func runTCP(cfg scenario.TCPConfig, d sim.Duration, o Options) (*scenario.TCPNet, error) {
 	cfg.Scheduler = o.Scheduler
 	cfg.Duration = d
+	cfg.Telemetry = o.Telemetry
+	cfg.Trace = o.Trace
 	n, err := scenario.BuildTCP(cfg)
 	if err != nil {
 		return nil, err
@@ -174,6 +176,8 @@ func init() {
 				},
 				Scheduler: o.Scheduler,
 				Duration:  d,
+				Telemetry: o.Telemetry,
+				Trace:     o.Trace,
 			})
 			if err != nil {
 				return nil, err
@@ -240,6 +244,8 @@ func init() {
 					},
 					Scheduler: o.Scheduler,
 					Duration:  d,
+					Telemetry: o.Telemetry,
+					Trace:     o.Trace,
 				})
 				if err != nil {
 					return nil, err

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // CellPayloadBytes is the usable payload per cell (AAL5 over the 48-byte
@@ -66,6 +67,25 @@ type IngressEdge struct {
 	started  bool
 	dropped  int64
 	sent     int64
+
+	tel ingressTel
+}
+
+// ingressTel holds the ingress edge's pre-resolved telemetry handles (inert
+// without a registry).
+type ingressTel struct {
+	cellsSent   telemetry.Counter
+	pktsDropped telemetry.Counter
+	rateChanges telemetry.Counter
+}
+
+// Instrument registers the ingress edge's counters with reg.
+func (g *IngressEdge) Instrument(reg *telemetry.Registry) {
+	g.tel = ingressTel{
+		cellsSent:   reg.Counter("edge.cells_sent"),
+		pktsDropped: reg.Counter("edge.pkts_dropped"),
+		rateChanges: reg.Counter("edge.rate_changes"),
+	}
 }
 
 // NewIngressEdge builds an ingress edge for vc.
@@ -102,6 +122,7 @@ func (g *IngressEdge) Receive(e *sim.Engine, p *ip.Packet) {
 	}
 	if g.queueBytes+p.SizeBytes() > g.MaxQueueBytes {
 		g.dropped++
+		g.tel.pktsDropped.Inc()
 		if g.OnDrop != nil {
 			g.OnDrop(e.Now(), p)
 		}
@@ -121,6 +142,7 @@ func (g *IngressEdge) ReceiveCell(e *sim.Engine, c atm.Cell) {
 	acr := g.Params.AdjustACR(g.acr, c.CI, c.ER)
 	if acr != g.acr {
 		g.acr = acr
+		g.tel.rateChanges.Inc()
 		if g.OnRateChange != nil {
 			g.OnRateChange(e.Now(), acr)
 		}
@@ -177,6 +199,7 @@ func (g *IngressEdge) sendCell(e *sim.Engine) {
 		}
 	}
 	g.sent++
+	g.tel.cellsSent.Inc()
 	g.Out.Receive(e, c)
 	g.armSend(e)
 }
@@ -194,6 +217,25 @@ type EgressEdge struct {
 	cellCount  int64 // cells of the current partial packet
 	reassembly int64 // packets delivered
 	corrupted  int64 // packets failing the cell-count check
+
+	tel egressTel
+}
+
+// egressTel holds the egress edge's pre-resolved telemetry handles (inert
+// without a registry).
+type egressTel struct {
+	reassembled telemetry.Counter
+	corrupted   telemetry.Counter
+	turnarounds telemetry.Counter
+}
+
+// Instrument registers the egress edge's counters with reg.
+func (g *EgressEdge) Instrument(reg *telemetry.Registry) {
+	g.tel = egressTel{
+		reassembled: reg.Counter("edge.pkts_reassembled"),
+		corrupted:   reg.Counter("edge.pkts_corrupted"),
+		turnarounds: reg.Counter("edge.rm_turnarounds"),
+	}
 }
 
 // NewEgressEdge builds the egress for vc.
@@ -214,6 +256,7 @@ func (g *EgressEdge) Receive(e *sim.Engine, c atm.Cell) {
 	}
 	switch c.Kind {
 	case atm.ForwardRM:
+		g.tel.turnarounds.Inc()
 		back := c
 		back.Kind = atm.BackwardRM
 		back.SentAt = e.Now()
@@ -230,9 +273,11 @@ func (g *EgressEdge) Receive(e *sim.Engine, c atm.Cell) {
 			// A cell of this packet was lost: the AAL5 length check fails
 			// and the whole datagram is discarded.
 			g.corrupted++
+			g.tel.corrupted.Inc()
 			return
 		}
 		g.reassembly++
+		g.tel.reassembled.Inc()
 		g.Dst.Receive(e, pkt)
 	}
 }

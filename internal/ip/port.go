@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -66,6 +67,32 @@ type Port struct {
 	dropped  int64
 	sentPk   int64
 	sentBy   int64
+
+	tel portTel
+}
+
+// portTel holds the port's pre-resolved telemetry handles (inert without a
+// registry). Drops split by cause: injected loss, the physical tail bound,
+// or the queue discipline's verdict (RED/ECN/quench policies).
+type portTel struct {
+	pktsSent  telemetry.Counter
+	bytesSent telemetry.Counter
+	dropTail  telemetry.Counter
+	dropDisc  telemetry.Counter
+	dropLoss  telemetry.Counter
+	queuePeak telemetry.Gauge
+}
+
+// Instrument registers the port's counters with reg.
+func (p *Port) Instrument(reg *telemetry.Registry) {
+	p.tel = portTel{
+		pktsSent:  reg.Counter("ip.pkts_sent"),
+		bytesSent: reg.Counter("ip.bytes_sent"),
+		dropTail:  reg.Counter("ip.drops_tail"),
+		dropDisc:  reg.Counter("ip.drops_disc"),
+		dropLoss:  reg.Counter("ip.drops_loss"),
+		queuePeak: reg.Gauge("ip.queue_pkts_peak"),
+	}
 }
 
 // NewPort builds a port; disc may be nil for a pure FIFO.
@@ -121,6 +148,7 @@ func (p *Port) Receive(e *sim.Engine, pkt *Packet) {
 		}
 		if p.lossRNG.Float64() < p.LossRate {
 			p.lost++
+			p.tel.dropLoss.Inc()
 			p.drop(e, pkt, "loss")
 			return
 		}
@@ -131,15 +159,18 @@ func (p *Port) Receive(e *sim.Engine, pkt *Packet) {
 			p.OnQuench(e, pkt.Flow)
 		}
 		if act.Drop {
+			p.tel.dropDisc.Inc()
 			p.drop(e, pkt, p.Disc.Name())
 			return
 		}
 	}
 	if p.MaxQueue > 0 && p.QueueLen() >= p.MaxQueue {
+		p.tel.dropTail.Inc()
 		p.drop(e, pkt, "tail")
 		return
 	}
 	p.queue.Push(pkt)
+	p.tel.queuePeak.Observe(uint64(p.QueueLen()))
 	if p.OnQueue != nil {
 		p.OnQueue(e.Now(), p.QueueLen())
 	}
@@ -171,6 +202,8 @@ func portTxDone(e *sim.Engine, pl sim.Payload) {
 	p.busy = false
 	p.sentPk++
 	p.sentBy += int64(pkt.SizeBytes())
+	p.tel.pktsSent.Inc()
+	p.tel.bytesSent.Add(uint64(pkt.SizeBytes()))
 	if p.OnQueue != nil {
 		p.OnQueue(e.Now(), p.QueueLen())
 	}

@@ -96,3 +96,77 @@ func TestDeterminism(t *testing.T) {
 		summariesIdentical(t, defs[i].ID+" direct-vs-fleet", direct[i].Summary, r.Res.Summary)
 	}
 }
+
+// countersIdentical reports whether two counter snapshots are equal: same
+// names, same values.
+func countersIdentical(t *testing.T, label string, a, b map[string]uint64) {
+	t.Helper()
+	for k, va := range a {
+		vb, present := b[k]
+		if !present {
+			t.Errorf("%s: counter %q missing from second run", label, k)
+			continue
+		}
+		if va != vb {
+			t.Errorf("%s: counter %q differs: %d vs %d", label, k, va, vb)
+		}
+	}
+	for k := range b {
+		if _, present := a[k]; !present {
+			t.Errorf("%s: counter %q appeared only in second run", label, k)
+		}
+	}
+}
+
+// TestTelemetryDeterminism extends the reproducibility contract to the
+// observability layer: a sequential fleet and a parallel fleet with
+// telemetry enabled produce bit-identical per-experiment counter snapshots
+// and fleet totals (merge order is invisible), and enabling telemetry does
+// not perturb the metric results a telemetry-off fleet produces.
+func TestTelemetryDeterminism(t *testing.T) {
+	defs := exp.All()
+	if len(defs) == 0 {
+		t.Fatal("registry is empty")
+	}
+	mkJobs := func() []Job {
+		jobs := make([]Job, len(defs))
+		for i, d := range defs {
+			jobs[i] = Job{Def: d, Opts: exp.Options{Quiet: true, Duration: shortDuration(d.ID)}}
+		}
+		return jobs
+	}
+	mustRun := func(f *Fleet) ([]Result, Stats) {
+		results, stats := f.Run(mkJobs())
+		if stats.Failed != 0 {
+			for _, r := range results {
+				if r.Err != nil {
+					t.Errorf("%s failed: %v", r.Job.Label(), r.Err)
+				}
+			}
+			t.FailNow()
+		}
+		return results, stats
+	}
+
+	seqResults, seqStats := mustRun(&Fleet{Workers: 1, Telemetry: true})
+	parResults, parStats := mustRun(&Fleet{Workers: 8, Telemetry: true})
+	offResults, offStats := mustRun(&Fleet{Workers: 4})
+
+	if len(seqStats.Counters) == 0 {
+		t.Fatal("telemetry-on fleet produced no counters")
+	}
+	countersIdentical(t, "fleet totals seq-vs-par", seqStats.Counters, parStats.Counters)
+	for i := range defs {
+		id := defs[i].ID
+		if len(seqResults[i].Res.Counters) == 0 {
+			t.Errorf("%s: telemetry-on run recorded no counters", id)
+		}
+		countersIdentical(t, id+" counters seq-vs-par", seqResults[i].Res.Counters, parResults[i].Res.Counters)
+		// Observability must not perturb results: metric summaries match the
+		// telemetry-off fleet bit for bit.
+		summariesIdentical(t, id+" summary on-vs-off", seqResults[i].Res.Summary, offResults[i].Res.Summary)
+	}
+	if offStats.Counters != nil {
+		t.Errorf("telemetry-off fleet produced counters: %v", offStats.Counters)
+	}
+}

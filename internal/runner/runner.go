@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Job is one unit of fleet work: an experiment definition plus the options
@@ -92,6 +93,12 @@ type Stats struct {
 	// experiments' own numbers — the quantity the alloc-budget test bounds.
 	Mallocs    uint64
 	AllocBytes uint64
+	// Counters is the fleet-total telemetry: every job's counter snapshot
+	// folded together with telemetry.Merge (sum, or max for *_peak names).
+	// Because both operations are commutative and associative and each job
+	// owns a private registry, the totals are bit-identical regardless of
+	// worker count or completion order. Nil when no job recorded telemetry.
+	Counters map[string]uint64
 }
 
 // AllocsPerRun returns the mean heap allocations per job.
@@ -133,6 +140,16 @@ type Fleet struct {
 	// It may be called from several workers at once and must be safe for
 	// concurrent use.
 	Hook exp.Hook
+	// Telemetry gives each job a private counter registry (unless the job
+	// already carries one in its Opts), so engines running on different
+	// workers never share live counters; the snapshots merge into
+	// Stats.Counters after the fleet drains.
+	Telemetry bool
+	// OnResult, when set, observes each completed Result the moment its job
+	// finishes, before the fleet drains — the live-visibility feed behind
+	// phantom-suite -http. Called from worker goroutines; it must be safe
+	// for concurrent use and should return quickly.
+	OnResult func(Result)
 }
 
 // Jobs builds one job per definition under shared options.
@@ -185,7 +202,10 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(jobs[i], f.Hook)
+				results[i] = runOne(jobs[i], f.Hook, f.Telemetry)
+				if f.OnResult != nil {
+					f.OnResult(results[i])
+				}
 			}
 		}()
 	}
@@ -206,13 +226,19 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 		if results[i].Err != nil {
 			stats.Failed++
 		}
+		if res := results[i].Res; res != nil && len(res.Counters) > 0 {
+			if stats.Counters == nil {
+				stats.Counters = make(map[string]uint64, len(res.Counters))
+			}
+			telemetry.Merge(stats.Counters, res.Counters)
+		}
 	}
 	return results, stats
 }
 
 // runOne executes a single job with panic capture. One call runs exactly one
 // sim.Engine on the calling goroutine, honoring the engine contract.
-func runOne(job Job, hook exp.Hook) (r Result) {
+func runOne(job Job, hook exp.Hook, tel bool) (r Result) {
 	r.Job = job
 	r.SimTime = job.Opts.Duration
 	if r.SimTime <= 0 {
@@ -220,6 +246,11 @@ func runOne(job Job, hook exp.Hook) (r Result) {
 	}
 	if !job.PinSeed {
 		job.Opts.Seed = DeriveSeed(job.Def.ID, job.SweepIndex)
+	}
+	if tel && job.Opts.Telemetry == nil {
+		// One registry per job: registries are single-goroutine like the
+		// engines they observe, so sharing one across workers would race.
+		job.Opts.Telemetry = telemetry.New()
 	}
 	start := time.Now()
 	defer func() {

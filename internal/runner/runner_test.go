@@ -205,3 +205,94 @@ func TestFleetSimTime(t *testing.T) {
 		t.Errorf("speedup = %v", stats.Speedup())
 	}
 }
+
+// telDef builds a fake definition that bumps counters on the registry the
+// fleet hands it: a per-job counter of 1, a shared-name counter of v, and a
+// peak gauge of v.
+func telDef(id string, v uint64) exp.Definition {
+	return fakeDef(id, func(o exp.Options) (*exp.Result, error) {
+		o.Telemetry.Counter("test.runs").Inc()
+		o.Telemetry.Counter("test.cells").Add(v)
+		o.Telemetry.Gauge("test.queue_peak").Observe(v)
+		return &exp.Result{ID: id, Summary: map[string]float64{}}, nil
+	})
+}
+
+// TestFleetCounterAggregation checks the Stats.Counters merge convention:
+// plain names sum across jobs, *_peak names take the max, and every job gets
+// a private registry whose snapshot lands on its own Result.
+func TestFleetCounterAggregation(t *testing.T) {
+	jobs := []Job{
+		{Def: telDef("T00", 10)},
+		{Def: telDef("T01", 25)},
+		{Def: telDef("T02", 7)},
+	}
+	fleet := &Fleet{Workers: 3, Telemetry: true}
+	results, stats := fleet.Run(jobs)
+	if stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for i, want := range []uint64{10, 25, 7} {
+		c := results[i].Res.Counters
+		if c["test.runs"] != 1 || c["test.cells"] != want || c["test.queue_peak"] != want {
+			t.Errorf("job %d counters = %v, want runs=1 cells=%d peak=%d", i, c, want, want)
+		}
+	}
+	want := map[string]uint64{"test.runs": 3, "test.cells": 42, "test.queue_peak": 25}
+	if len(stats.Counters) != len(want) {
+		t.Fatalf("fleet counters = %v, want %v", stats.Counters, want)
+	}
+	for k, v := range want {
+		if stats.Counters[k] != v {
+			t.Errorf("fleet counter %s = %d, want %d", k, stats.Counters[k], v)
+		}
+	}
+}
+
+// TestFleetWithoutTelemetry checks the flag gate: no registries, no
+// snapshots, nil fleet totals.
+func TestFleetWithoutTelemetry(t *testing.T) {
+	jobs := []Job{{Def: fakeDef("T00", func(o exp.Options) (*exp.Result, error) {
+		if o.Telemetry != nil {
+			t.Error("job received a registry with fleet telemetry off")
+		}
+		// Inert handles from the nil registry must still be safe to use.
+		o.Telemetry.Counter("test.noop").Inc()
+		return &exp.Result{ID: "T00", Summary: map[string]float64{}}, nil
+	})}}
+	fleet := &Fleet{Workers: 1}
+	results, stats := fleet.Run(jobs)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if results[0].Res.Counters != nil || stats.Counters != nil {
+		t.Errorf("telemetry-off run produced counters: job=%v fleet=%v",
+			results[0].Res.Counters, stats.Counters)
+	}
+}
+
+// TestFleetOnResult checks the live-visibility feed: one callback per job,
+// carrying the job's own result, before Run returns.
+func TestFleetOnResult(t *testing.T) {
+	const n = 8
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Def: okDef(fmt.Sprintf("T%02d", i), float64(i))}
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	fleet := &Fleet{Workers: 4, OnResult: func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[r.Job.Label()]++
+	}}
+	fleet.Run(jobs)
+	if len(seen) != n {
+		t.Fatalf("OnResult saw %d jobs, want %d: %v", len(seen), n, seen)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("OnResult fired %d times for %s", c, id)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/switchalg"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -64,8 +65,12 @@ type ATMConfig struct {
 	// risk) for failure testing. Zero disables injection.
 	TrunkLossRate float64
 	// Trace, if non-nil, records rate changes, drops and fair-share ticks.
-	Trace    *trace.Tracer
-	Sessions []ATMSessionSpec
+	Trace *trace.Tracer
+	// Telemetry, if non-nil, receives the scenario's counters: every link,
+	// switch, source and algorithm registers its class-level handles here,
+	// and Run folds the engine's event statistics in when it returns.
+	Telemetry *telemetry.Registry
+	Sessions  []ATMSessionSpec
 	// Scheduler selects the engine's calendar backend (heap or wheel);
 	// empty picks the default. The choice never changes results — both
 	// backends honor the same (time, seq) order — only run cost.
@@ -114,6 +119,7 @@ type ATMNet struct {
 	fairShareFns  []func() float64
 	lastDelivered []int64
 	lastSample    sim.Time
+	telFlush      engineFlush
 }
 
 // samplesHint sizes a sampled series from the planned run length: one point
@@ -195,9 +201,13 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 	n := &ATMNet{Engine: e, Config: cfg}
 	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
 
-	// Switches.
+	// Switches. Instrument is called unconditionally throughout the build:
+	// a nil registry hands out inert handles, so the wiring has no
+	// telemetry-enabled branch.
 	for i := 0; i < cfg.Switches; i++ {
-		n.Switches = append(n.Switches, atmnet.NewSwitch(fmt.Sprintf("S%d", i)))
+		sw := atmnet.NewSwitch(fmt.Sprintf("S%d", i))
+		sw.Instrument(cfg.Telemetry)
+		n.Switches = append(n.Switches, sw)
 	}
 
 	// Trunks: forward F_k: S_k→S_k+1 with the algorithm; reverse R_k:
@@ -208,6 +218,8 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		trunkCPS := atm.CPS(n.trunkRateBPS(k))
 		fl := atmnet.NewLink(fmt.Sprintf("F%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k+1])
 		rl := atmnet.NewLink(fmt.Sprintf("R%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k])
+		fl.Instrument(cfg.Telemetry)
+		rl.Instrument(cfg.Telemetry)
 		if cfg.TrunkLossRate > 0 {
 			fl.LossRate = cfg.TrunkLossRate
 			fl.LossSeed = uint64(2*k + 1)
@@ -218,6 +230,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		if cfg.Alg != nil {
 			alg = cfg.Alg()
 		}
+		instrumentAlg(alg, cfg.Telemetry)
 		fwdPorts[k] = n.Switches[k].AddPort(e, fl, alg)
 		revPorts[k] = n.Switches[k+1].AddPort(e, rl, nil)
 		n.trunks = append(n.trunks, fl)
@@ -232,7 +245,8 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		if cfg.Trace != nil {
 			name := fl.Name
 			fl.OnDrop = func(now sim.Time, c atm.Cell) {
-				cfg.Trace.Emit(now, name, "drop", "VC=%d kind=%v", c.VC, c.Kind)
+				cfg.Trace.Emit(now, name, "drop",
+					trace.I("vc", int64(c.VC)), trace.S("cell", c.Kind.String()))
 			}
 		}
 		if alg != nil {
@@ -256,19 +270,25 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		// Egress: S_exit → dest (forward), dest → S_exit (reverse).
 		entrySw, exitSw := n.Switches[spec.Entry], n.Switches[spec.Exit]
 		toDest := atmnet.NewLink(fmt.Sprintf("out%d", i), accessCPS, cfg.AccessDelay, nil)
+		toDest.Instrument(cfg.Telemetry)
 		var egressAlg switchalg.Algorithm
 		if cfg.Alg != nil {
 			egressAlg = cfg.Alg()
 		}
+		instrumentAlg(egressAlg, cfg.Telemetry)
 		egressPort := exitSw.AddPort(e, toDest, egressAlg)
 		fromDest := atmnet.NewLink(fmt.Sprintf("destrev%d", i), accessCPS, cfg.AccessDelay, exitSw)
+		fromDest.Instrument(cfg.Telemetry)
 		dest := atm.NewDest(vc, fromDest)
 		toDest.Dst = dest
 
 		// Ingress: source → S_entry (forward), S_entry → source (reverse).
 		toEntry := atmnet.NewLink(fmt.Sprintf("in%d", i), accessCPS, cfg.AccessDelay, entrySw)
+		toEntry.Instrument(cfg.Telemetry)
 		src := atm.NewSource(vc, params, spec.Pattern, toEntry)
+		src.Instrument(cfg.Telemetry)
 		toSource := atmnet.NewLink(fmt.Sprintf("srcrev%d", i), accessCPS, cfg.AccessDelay, src)
+		toSource.Instrument(cfg.Telemetry)
 		ingressRevPort := entrySw.AddPort(e, toSource, nil)
 
 		// Routes through every switch on the path.
@@ -292,7 +312,7 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			name := spec.Name
 			src.OnRateChange = func(now sim.Time, r float64) {
 				acr.Add(now, r)
-				cfg.Trace.Emit(now, name, "rate", "ACR=%.0f", r)
+				cfg.Trace.Emit(now, name, "rate", trace.F("acr", r))
 			}
 		} else {
 			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
@@ -333,9 +353,11 @@ func (n *ATMNet) sample(now sim.Time) {
 }
 
 // Run executes the scenario for d of simulated time (cumulative across
-// calls).
+// calls) and folds the engine's event statistics into the telemetry
+// registry.
 func (n *ATMNet) Run(d sim.Duration) {
 	n.Engine.RunUntil(n.Engine.Now().Add(d))
+	n.telFlush.flush(n.Config.Telemetry, n.Engine)
 }
 
 // trunkRateBPS returns trunk k's configured line rate.

@@ -11,6 +11,8 @@ import (
 	"repro/internal/sim"
 	"repro/internal/switchalg"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // InteropConfig describes the TCP-over-ATM topology of §4.2: TCP end
@@ -29,7 +31,13 @@ type InteropConfig struct {
 	EdgeQueueBytes int
 	// SampleEvery is the series sampling period (default 10 ms).
 	SampleEvery sim.Duration
-	Flows       []TCPFlowSpec // Entry/Exit are ignored: the cloud is one hop
+	// Trace, if non-nil, records edge-queue drops and edge rate changes.
+	Trace *trace.Tracer
+	// Telemetry, if non-nil, receives the scenario's counters: links,
+	// switches, edges, senders and receivers register class-level handles,
+	// and Run folds the engine's event statistics in when it returns.
+	Telemetry *telemetry.Registry
+	Flows     []TCPFlowSpec // Entry/Exit are ignored: the cloud is one hop
 	// Scheduler selects the engine's calendar backend (heap or wheel);
 	// empty picks the default. Results are identical either way.
 	Scheduler sim.SchedulerKind
@@ -65,6 +73,7 @@ type InteropNet struct {
 	trunk         *atmnet.Link
 	lastDelivered []int64
 	lastSample    sim.Time
+	telFlush      engineFlush
 }
 
 // BuildTCPOverATM wires the interop scenario.
@@ -81,15 +90,21 @@ func BuildTCPOverATM(cfg InteropConfig) (*InteropNet, error) {
 	e := sim.NewEngine(sim.WithScheduler(sched))
 	n := &InteropNet{Engine: e, Config: cfg}
 	s0, s1 := atmnet.NewSwitch("S0"), atmnet.NewSwitch("S1")
+	s0.Instrument(cfg.Telemetry)
+	s1.Instrument(cfg.Telemetry)
 
 	trunkCPS := atm.CPS(cfg.TrunkRateBPS)
 	fl := atmnet.NewLink("F", trunkCPS, cfg.TrunkDelay, s1)
 	rl := atmnet.NewLink("R", trunkCPS, cfg.TrunkDelay, s0)
+	fl.Instrument(cfg.Telemetry)
+	rl.Instrument(cfg.Telemetry)
 	var fAlg, rAlg switchalg.Algorithm
 	if cfg.Alg != nil {
 		fAlg = cfg.Alg()
 		rAlg = cfg.Alg()
 	}
+	instrumentAlg(fAlg, cfg.Telemetry)
+	instrumentAlg(rAlg, cfg.Telemetry)
 	fwdPort := s0.AddPort(e, fl, fAlg)
 	revPort := s1.AddPort(e, rl, rAlg)
 	n.trunk = fl
@@ -109,21 +124,36 @@ func BuildTCPOverATM(cfg InteropConfig) (*InteropNet, error) {
 		// receiver ---
 		inEdge := interop.NewIngressEdge(dataVC, atm.DefaultSourceParams(), nil)
 		inEdge.MaxQueueBytes = cfg.EdgeQueueBytes
+		inEdge.Instrument(cfg.Telemetry)
+		if cfg.Trace != nil {
+			name := fmt.Sprintf("edge%d", i)
+			flow := flow
+			inEdge.OnDrop = func(now sim.Time, p *ip.Packet) {
+				cfg.Trace.Emit(now, name, "drop",
+					trace.I("flow", int64(flow)), trace.I("seq", p.Seq))
+			}
+		}
 		toS0 := atmnet.NewLink(fmt.Sprintf("d-in%d", i), accessCPS, spec.AccessDelay, s0)
+		toS0.Instrument(cfg.Telemetry)
 		inEdge.Out = toS0
 
 		// IP access: sender → edge (direct; the access serialisation is
 		// dominated by the edge pacing).
 		snd := tcp.NewSender(flow, params, inEdge)
+		snd.Instrument(cfg.Telemetry)
 
 		// Egress side.
 		backToS1 := atmnet.NewLink(fmt.Sprintf("d-back%d", i), accessCPS, sim.Microsecond, s1)
+		backToS1.Instrument(cfg.Telemetry)
 		var rcv *tcp.Receiver // bound below
 		outEdge := interop.NewEgressEdge(dataVC, backToS1, ip.SinkFunc(func(en *sim.Engine, p *ip.Packet) {
 			rcv.Receive(en, p)
 		}))
+		outEdge.Instrument(cfg.Telemetry)
 		toEgress := atmnet.NewLink(fmt.Sprintf("d-out%d", i), accessCPS, sim.Microsecond, outEdge)
+		toEgress.Instrument(cfg.Telemetry)
 		bwdToIngress := atmnet.NewLink(fmt.Sprintf("d-rm%d", i), accessCPS, spec.AccessDelay, inEdge.BackwardSink())
+		bwdToIngress.Instrument(cfg.Telemetry)
 		bwdToIngressPort := s0.AddPort(e, bwdToIngress, nil)
 		egressPort := s1.AddPort(e, toEgress, nil)
 		s0.Route(dataVC, fwdPort, bwdToIngressPort)
@@ -132,16 +162,23 @@ func BuildTCPOverATM(cfg InteropConfig) (*InteropNet, error) {
 		// --- ACK direction: receiver → ingress edge (at S1) → S1 → S0 →
 		// egress → sender ---
 		ackInEdge := interop.NewIngressEdge(ackVC, atm.DefaultSourceParams(), nil)
+		ackInEdge.Instrument(cfg.Telemetry)
 		toS1 := atmnet.NewLink(fmt.Sprintf("a-in%d", i), accessCPS, sim.Microsecond, s1)
+		toS1.Instrument(cfg.Telemetry)
 		ackInEdge.Out = toS1
 		rcv = tcp.NewReceiver(flow, ackInEdge)
+		rcv.Instrument(cfg.Telemetry)
 
 		backToS0 := atmnet.NewLink(fmt.Sprintf("a-back%d", i), accessCPS, sim.Microsecond, s0)
+		backToS0.Instrument(cfg.Telemetry)
 		ackOutEdge := interop.NewEgressEdge(ackVC, backToS0, ip.SinkFunc(func(en *sim.Engine, p *ip.Packet) {
 			snd.Receive(en, p)
 		}))
+		ackOutEdge.Instrument(cfg.Telemetry)
 		toAckEgress := atmnet.NewLink(fmt.Sprintf("a-out%d", i), accessCPS, spec.AccessDelay, ackOutEdge)
+		toAckEgress.Instrument(cfg.Telemetry)
 		bwdToAckIngress := atmnet.NewLink(fmt.Sprintf("a-rm%d", i), accessCPS, sim.Microsecond, ackInEdge.BackwardSink())
+		bwdToAckIngress.Instrument(cfg.Telemetry)
 		bwdToAckIngressPort := s1.AddPort(e, bwdToAckIngress, nil)
 		ackEgressPort := s0.AddPort(e, toAckEgress, nil)
 		// For the ACK VC, "forward" is S1→S0.
@@ -156,7 +193,15 @@ func BuildTCPOverATM(cfg InteropConfig) (*InteropNet, error) {
 		}
 
 		acr := metrics.NewSeries(fmt.Sprintf("edgeACR[%s]", spec.Name))
-		inEdge.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
+		if cfg.Trace != nil {
+			name := spec.Name
+			inEdge.OnRateChange = func(now sim.Time, r float64) {
+				acr.Add(now, r)
+				cfg.Trace.Emit(now, name, "rate", trace.F("acr", r))
+			}
+		} else {
+			inEdge.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
+		}
 		n.EdgeACR = append(n.EdgeACR, acr)
 		n.Goodput = append(n.Goodput, metrics.NewSeries(fmt.Sprintf("goodput[%s]", spec.Name)))
 		n.Ingress = append(n.Ingress, inEdge)
@@ -186,9 +231,11 @@ func (n *InteropNet) sample(now sim.Time) {
 	n.TrunkQueue.Add(now, float64(n.trunk.QueueLen()))
 }
 
-// Run executes the scenario for d of simulated time (cumulative).
+// Run executes the scenario for d of simulated time (cumulative) and folds
+// the engine's event statistics into the telemetry registry.
 func (n *InteropNet) Run(d sim.Duration) {
 	n.Engine.RunUntil(n.Engine.Now().Add(d))
+	n.telFlush.flush(n.Config.Telemetry, n.Engine)
 }
 
 // MeanGoodputBPS returns flow i's lifetime mean delivered payload rate.

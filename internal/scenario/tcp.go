@@ -7,6 +7,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // TCPFlowSpec declares one greedy Reno flow over the linear router network:
@@ -51,7 +53,13 @@ type TCPConfig struct {
 	// TrunkLossRate injects random packet loss on every trunk (both
 	// directions) for failure testing. Zero disables injection.
 	TrunkLossRate float64
-	Flows         []TCPFlowSpec
+	// Trace, if non-nil, records trunk drops (flow, sequence, reason).
+	Trace *trace.Tracer
+	// Telemetry, if non-nil, receives the scenario's counters: ports,
+	// senders and receivers register class-level handles, and Run folds the
+	// engine's event statistics in when it returns.
+	Telemetry *telemetry.Registry
+	Flows     []TCPFlowSpec
 	// Scheduler selects the engine's calendar backend (heap or wheel);
 	// empty picks the default. Results are identical either way.
 	Scheduler sim.SchedulerKind
@@ -100,6 +108,7 @@ type TCPNet struct {
 	trunks        []*ip.Port
 	lastDelivered []int64
 	lastSample    sim.Time
+	telFlush      engineFlush
 }
 
 // Release returns every recorded series' point storage to the metrics pool;
@@ -156,6 +165,14 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 	for k := 0; k < cfg.Routers-1; k++ {
 		fp := ip.NewPort(fmt.Sprintf("F%d", k), cfg.TrunkRateBPS, cfg.TrunkDelay, n.Routers[k+1])
 		fp.MaxQueue = cfg.TrunkBuffer
+		fp.Instrument(cfg.Telemetry)
+		if cfg.Trace != nil {
+			name := fp.Name
+			fp.OnDrop = func(now sim.Time, p *ip.Packet, reason string) {
+				cfg.Trace.Emit(now, name, "drop",
+					trace.I("flow", int64(p.Flow)), trace.I("seq", p.Seq), trace.S("reason", reason))
+			}
+		}
 		var macrSeries *metrics.Series
 		if cfg.Disc != nil {
 			d := cfg.Disc()
@@ -167,6 +184,7 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 			fp.Attach(e, d)
 		}
 		rp := ip.NewPort(fmt.Sprintf("B%d", k), cfg.TrunkRateBPS, cfg.TrunkDelay, n.Routers[k])
+		rp.Instrument(cfg.Telemetry)
 		if cfg.TrunkLossRate > 0 {
 			fp.LossRate = cfg.TrunkLossRate
 			fp.LossSeed = uint64(2*k + 1)
@@ -197,14 +215,20 @@ func BuildTCP(cfg TCPConfig) (*TCPNet, error) {
 		// Sender side: sender → access port → R_entry; R_entry → reverse
 		// access port → sender (ACK delivery).
 		toEntry := ip.NewPort(fmt.Sprintf("in%d", i), cfg.AccessRateBPS, spec.AccessDelay, entryR)
+		toEntry.Instrument(cfg.Telemetry)
 		snd := tcp.NewSender(flow, params, toEntry)
+		snd.Instrument(cfg.Telemetry)
 		toSender := ip.NewPort(fmt.Sprintf("srcrev%d", i), cfg.AccessRateBPS, spec.AccessDelay, snd)
+		toSender.Instrument(cfg.Telemetry)
 
 		// Receiver side: R_exit → egress port → receiver; receiver → ack
 		// access port → R_exit.
 		toRecv := ip.NewPort(fmt.Sprintf("out%d", i), cfg.AccessRateBPS, sim.Microsecond, nil)
+		toRecv.Instrument(cfg.Telemetry)
 		fromRecv := ip.NewPort(fmt.Sprintf("ackin%d", i), cfg.AccessRateBPS, sim.Microsecond, exitR)
+		fromRecv.Instrument(cfg.Telemetry)
 		rcv := tcp.NewReceiver(flow, fromRecv)
+		rcv.Instrument(cfg.Telemetry)
 		rcv.DelayedAcks = spec.DelayedAcks
 		toRecv.Dst = rcv
 
@@ -287,9 +311,11 @@ func (n *TCPNet) sample(now sim.Time) {
 	}
 }
 
-// Run executes the scenario for d of simulated time (cumulative).
+// Run executes the scenario for d of simulated time (cumulative) and folds
+// the engine's event statistics into the telemetry registry.
 func (n *TCPNet) Run(d sim.Duration) {
 	n.Engine.RunUntil(n.Engine.Now().Add(d))
+	n.telFlush.flush(n.Config.Telemetry, n.Engine)
 }
 
 // MeanGoodputBPS returns flow i's lifetime mean delivered payload rate in

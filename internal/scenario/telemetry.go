@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/telemetry"
+)
+
+// instrumentAlg registers an algorithm's counters when it supports telemetry.
+// Nil algorithms (plain FIFO ports) and external implementations without the
+// optional interface are skipped.
+func instrumentAlg(alg switchalg.Algorithm, reg *telemetry.Registry) {
+	if alg == nil || reg == nil {
+		return
+	}
+	if in, ok := alg.(switchalg.Instrumenter); ok {
+		in.Instrument(reg)
+	}
+}
+
+// engineFlush folds an engine's lifetime event statistics into a registry
+// incrementally: each call adds only the delta since the previous flush, so
+// the cumulative Run calls the scenarios allow never double-count.
+type engineFlush struct {
+	scheduled, fired, canceled uint64
+}
+
+func (f *engineFlush) flush(reg *telemetry.Registry, e *sim.Engine) {
+	if reg == nil {
+		return
+	}
+	s, fi, c := e.Scheduled(), e.Fired(), e.Canceled()
+	reg.Counter("engine.events_scheduled").Add(s - f.scheduled)
+	reg.Counter("engine.events_fired").Add(fi - f.fired)
+	reg.Counter("engine.events_canceled").Add(c - f.canceled)
+	f.scheduled, f.fired, f.canceled = s, fi, c
+}

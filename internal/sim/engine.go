@@ -113,12 +113,13 @@ func WithScheduler(kind SchedulerKind) Option {
 // already in progress on the same engine; the cross-goroutine half is left
 // to the race detector, which CI runs on every test.
 type Engine struct {
-	now     Time
-	sched   Scheduler
-	seq     uint64
-	fired   uint64
-	stopped bool
-	running bool
+	now      Time
+	sched    Scheduler
+	seq      uint64
+	fired    uint64
+	canceled uint64
+	stopped  bool
+	running  bool
 	// free is the event-cell pool. Scheduling pops a cell, firing (or
 	// draining a cancelled event) pushes it back, so the At/After/Every
 	// hot path stops allocating once the pool warms to the peak number of
@@ -149,6 +150,14 @@ func (e *Engine) Pending() int { return e.sched.Len() }
 // Fired returns the number of events executed so far. Useful for cost
 // accounting in benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// Scheduled returns the number of events ever scheduled on this engine
+// (seq counts every schedule, fired or not).
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// Canceled returns the number of cancelled events drained by the run loop
+// — the gap between Scheduled and Fired that is not still pending.
+func (e *Engine) Canceled() uint64 { return e.canceled }
 
 // SchedulerName reports which calendar backend this engine runs on.
 func (e *Engine) SchedulerName() string { return e.sched.Name() }
@@ -282,6 +291,7 @@ func (e *Engine) runTo(deadline Time) uint64 {
 		}
 		e.sched.pop()
 		if next.stopped {
+			e.canceled++
 			e.recycle(next)
 			continue
 		}

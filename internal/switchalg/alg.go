@@ -9,6 +9,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Port is the view an algorithm has of the output port it controls.
@@ -51,6 +52,37 @@ type Algorithm interface {
 // parameterized by a Factory so the same topology can run under any of the
 // four algorithms.
 type Factory func() Algorithm
+
+// Instrumenter is the optional telemetry face of an Algorithm. Scenario
+// builders type-assert for it after the factory call; every algorithm in
+// this package implements it, but the interface stays separate from
+// Algorithm so external or test implementations need not.
+type Instrumenter interface {
+	Instrument(reg *telemetry.Registry)
+}
+
+// algTel is the telemetry bundle shared by all rate-control algorithms —
+// class-level names, so a comparison run reads one set of totals per role:
+//
+//	alg.fair_share_updates  fair-share estimate recomputations
+//	                        (MACR folds, ERS/ERICA ticks, max-min fills)
+//	alg.feedback_marks      backward RM cells actually marked (ER reduced,
+//	                        CI or NI set)
+//	alg.state_changes       congestion-state transitions (threshold or
+//	                        derivative detectors flipping)
+//
+// Handles are inert without a registry, so hooks bump them unconditionally.
+type algTel struct {
+	updates telemetry.Counter
+	marks   telemetry.Counter
+	states  telemetry.Counter
+}
+
+func (t *algTel) instrument(reg *telemetry.Registry) {
+	t.updates = reg.Counter("alg.fair_share_updates")
+	t.marks = reg.Counter("alg.feedback_marks")
+	t.states = reg.Counter("alg.state_changes")
+}
 
 // None is the nil-algorithm Factory for ports that apply no rate control
 // (plain FIFO forwarding). Scenario builders treat a factory that returns

@@ -3,6 +3,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // APRC is Siu and Tzeng's Adaptive Proportional Rate Control "with
@@ -37,7 +38,11 @@ type APRC struct {
 	rising bool
 	prevQ  int
 	port   Port
+	tel    algTel
 }
+
+// Instrument implements Instrumenter.
+func (a *APRC) Instrument(reg *telemetry.Registry) { a.tel.instrument(reg) }
 
 // NewAPRC returns a factory with the paper's configuration.
 func NewAPRC() Factory {
@@ -70,7 +75,10 @@ func (a *APRC) Attach(e *sim.Engine, p Port) {
 	}
 	e.Every(a.SampleInterval, func(*sim.Engine) {
 		q := p.QueueLen()
-		a.rising = q > a.prevQ
+		if rising := q > a.prevQ; rising != a.rising {
+			a.rising = rising
+			a.tel.states.Inc()
+		}
 		a.prevQ = q
 	})
 }
@@ -91,6 +99,7 @@ func (a *APRC) OnForwardRM(now sim.Time, c *atm.Cell) {
 	} else {
 		a.macr += a.AV * (c.CCR - a.macr)
 	}
+	a.tel.updates.Inc()
 	if a.OnMACR != nil {
 		a.OnMACR(now, a.macr)
 	}
@@ -103,9 +112,11 @@ func (a *APRC) OnBackwardRM(_ sim.Time, c *atm.Cell) {
 	case q > a.VQT:
 		c.ER = minF(c.ER, a.macr*a.MRF)
 		c.CI = true
+		a.tel.marks.Inc()
 	case a.rising:
 		if c.CCR > a.macr*a.DPF {
 			c.ER = minF(c.ER, a.macr*a.ERF)
+			a.tel.marks.Inc()
 		}
 	}
 }

@@ -3,6 +3,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // CAPC is Barnhart's Congestion Avoidance using Proportional Control
@@ -47,7 +48,12 @@ type CAPC struct {
 	arrivals int64
 	lastTick sim.Time
 	port     Port
+	overCQT  bool
+	tel      algTel
 }
+
+// Instrument implements Instrumenter.
+func (a *CAPC) Instrument(reg *telemetry.Registry) { a.tel.instrument(reg) }
 
 // NewCAPC returns a factory with the recommended parameters.
 func NewCAPC() Factory {
@@ -121,6 +127,7 @@ func (a *CAPC) tick(now sim.Time) {
 	if a.ers < 1 {
 		a.ers = 1 // never rate sources to a full stop
 	}
+	a.tel.updates.Inc()
 	if a.OnTick != nil {
 		a.OnTick(now, z, a.ers)
 	}
@@ -137,8 +144,17 @@ func (a *CAPC) OnForwardRM(sim.Time, *atm.Cell) {}
 
 // OnBackwardRM implements Algorithm.
 func (a *CAPC) OnBackwardRM(_ sim.Time, c *atm.Cell) {
+	before := c.ER
 	c.ER = minF(c.ER, a.ers)
-	if a.port.QueueLen() > a.CQT {
+	over := a.port.QueueLen() > a.CQT
+	if over {
 		c.CI = true
+	}
+	if over != a.overCQT {
+		a.overCQT = over
+		a.tel.states.Inc()
+	}
+	if c.ER < before || over {
+		a.tel.marks.Inc()
 	}
 }

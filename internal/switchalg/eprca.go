@@ -3,6 +3,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // EPRCA is Roberts' Enhanced Proportional Rate Control Algorithm
@@ -38,9 +39,14 @@ type EPRCA struct {
 	// OnMACR, if non-nil, observes the fair-share estimate (for figures).
 	OnMACR func(now sim.Time, macr float64)
 
-	macr float64
-	port Port
+	macr      float64
+	port      Port
+	congested bool
+	tel       algTel
 }
+
+// Instrument implements Instrumenter.
+func (a *EPRCA) Instrument(reg *telemetry.Registry) { a.tel.instrument(reg) }
 
 // NewEPRCA returns a factory with the recommended parameters.
 func NewEPRCA() Factory {
@@ -89,6 +95,7 @@ func (a *EPRCA) OnForwardRM(now sim.Time, c *atm.Cell) {
 	} else {
 		a.macr += a.AV * (c.CCR - a.macr)
 	}
+	a.tel.updates.Inc()
 	if a.OnMACR != nil {
 		a.OnMACR(now, a.macr)
 	}
@@ -97,13 +104,19 @@ func (a *EPRCA) OnForwardRM(now sim.Time, c *atm.Cell) {
 // OnBackwardRM implements Algorithm: apply queue-threshold feedback.
 func (a *EPRCA) OnBackwardRM(_ sim.Time, c *atm.Cell) {
 	q := a.port.QueueLen()
+	if congested := q > a.QT; congested != a.congested {
+		a.congested = congested
+		a.tel.states.Inc()
+	}
 	switch {
 	case q > a.DQT:
 		c.ER = minF(c.ER, a.macr*a.MRF)
 		c.CI = true
+		a.tel.marks.Inc()
 	case q > a.QT:
 		if c.CCR > a.macr*a.DPF {
 			c.ER = minF(c.ER, a.macr*a.ERF)
+			a.tel.marks.Inc()
 		}
 	}
 }

@@ -3,6 +3,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ERICA is Jain et al.'s Explicit Rate Indication for Congestion Avoidance
@@ -38,7 +39,11 @@ type ERICA struct {
 	z         float64
 	fairShare float64
 	lastTick  sim.Time
+	tel       algTel
 }
+
+// Instrument implements Instrumenter.
+func (a *ERICA) Instrument(reg *telemetry.Registry) { a.tel.instrument(reg) }
 
 // NewERICA returns a factory for the per-VC baseline.
 func NewERICA() Factory {
@@ -94,6 +99,7 @@ func (a *ERICA) tick(now sim.Time) {
 	a.fairShare = target / float64(n)
 	a.arrivals = 0
 	clear(a.seen)
+	a.tel.updates.Inc()
 	if a.OnTick != nil {
 		a.OnTick(now, a.z, a.fairShare)
 	}
@@ -118,5 +124,8 @@ func (a *ERICA) OnBackwardRM(_ sim.Time, c *atm.Cell) {
 	if vcShare > er {
 		er = vcShare
 	}
-	c.ER = minF(c.ER, er)
+	if er < c.ER {
+		c.ER = er
+		a.tel.marks.Inc()
+	}
 }

@@ -3,6 +3,7 @@ package switchalg
 import (
 	"repro/internal/atm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ExactMaxMin is an *unbounded-space* reference algorithm from the other
@@ -30,7 +31,11 @@ type ExactMaxMin struct {
 	demands  map[atm.VCID]demand
 	share    float64
 	capacity float64
+	tel      algTel
 }
+
+// Instrument implements Instrumenter.
+func (a *ExactMaxMin) Instrument(reg *telemetry.Registry) { a.tel.instrument(reg) }
 
 type demand struct {
 	ccr  float64
@@ -73,6 +78,7 @@ func (a *ExactMaxMin) Sessions() int { return len(a.demands) }
 // remaining demands: sessions demanding less than an equal split keep
 // their demand; the leftovers are divided equally among the rest.
 func (a *ExactMaxMin) recompute(now sim.Time) {
+	a.tel.updates.Inc()
 	for vc, d := range a.demands {
 		if now.Sub(d.seen) > a.Expiry {
 			delete(a.demands, vc)
@@ -129,5 +135,8 @@ func (a *ExactMaxMin) OnForwardRM(now sim.Time, c *atm.Cell) {
 
 // OnBackwardRM implements Algorithm: clamp to the exact share.
 func (a *ExactMaxMin) OnBackwardRM(_ sim.Time, c *atm.Cell) {
-	c.ER = minF(c.ER, a.share)
+	if a.share < c.ER {
+		c.ER = a.share
+		a.tel.marks.Inc()
+	}
 }

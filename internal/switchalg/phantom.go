@@ -4,6 +4,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Phantom is the paper's algorithm bound to an ATM output port. It meters
@@ -27,7 +28,15 @@ type Phantom struct {
 	OnTick func(now sim.Time, residual, macr float64)
 
 	pc *core.PortControl
+
+	tel algTel
+	// lastFeedback tracks the binary-mode feedback level (0 none, 1 NI,
+	// 2 CI) so transitions count as state changes.
+	lastFeedback uint8
 }
+
+// Instrument implements Instrumenter.
+func (p *Phantom) Instrument(reg *telemetry.Registry) { p.tel.instrument(reg) }
 
 // NewPhantom returns a factory producing explicit-rate Phantom ports with
 // the given estimator config (Capacity is filled in per port).
@@ -56,6 +65,7 @@ func (p *Phantom) Attach(e *sim.Engine, port Port) {
 	p.pc = core.MustPortControl(cfg, e.Now())
 	p.pc.Queue = func() float64 { return float64(port.QueueLen()) }
 	p.pc.OnTick = func(now sim.Time, residual, macr float64) {
+		p.tel.updates.Inc()
 		if p.OnTick != nil {
 			p.OnTick(now, residual, macr)
 		}
@@ -84,13 +94,27 @@ func (p *Phantom) OnBackwardRM(_ sim.Time, c *atm.Cell) {
 		// decrease (CI); sessions inside the top of the band hold (NI),
 		// giving the sawtooth a flat top instead of an overshoot.
 		allowed := p.pc.AllowedRate()
+		var level uint8
 		switch {
 		case c.CCR > allowed:
 			c.CI = true
+			level = 2
 		case c.CCR > 0.85*allowed:
 			c.NI = true
+			level = 1
+		}
+		if level != 0 {
+			p.tel.marks.Inc()
+		}
+		if level != p.lastFeedback {
+			p.lastFeedback = level
+			p.tel.states.Inc()
 		}
 		return
 	}
+	before := c.ER
 	c.ER = p.pc.ClampER(c.ER)
+	if c.ER < before {
+		p.tel.marks.Inc()
+	}
 }

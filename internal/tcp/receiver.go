@@ -3,6 +3,7 @@ package tcp
 import (
 	"repro/internal/ip"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Receiver is the TCP receive side for one flow: it delivers in-order
@@ -36,6 +37,23 @@ type Receiver struct {
 	unacked  int
 	ecnPend  bool
 	ackTimer sim.EventRef
+
+	tel receiverTel
+}
+
+// receiverTel holds the receiver's pre-resolved telemetry handles (inert
+// without a registry).
+type receiverTel struct {
+	acksSent telemetry.Counter
+	oooSegs  telemetry.Counter
+}
+
+// Instrument registers the receiver's counters with reg.
+func (r *Receiver) Instrument(reg *telemetry.Registry) {
+	r.tel = receiverTel{
+		acksSent: reg.Counter("tcp.acks_sent"),
+		oooSegs:  reg.Counter("tcp.ooo_segments"),
+	}
 }
 
 // NewReceiver builds a receiver whose ACKs go to back.
@@ -66,6 +84,7 @@ func (r *Receiver) Receive(e *sim.Engine, p *ip.Packet) {
 		r.advance(e, p.Len)
 	case p.Seq > r.rcvNxt:
 		// Out of order: buffer (idempotently); the ACK below is a dup ACK.
+		r.tel.oooSegs.Inc()
 		if _, ok := r.outOfOrder[p.Seq]; !ok {
 			r.outOfOrder[p.Seq] = p.Len
 		}
@@ -132,6 +151,7 @@ func (r *Receiver) advance(e *sim.Engine, n int) {
 // resetting the delayed-ACK state.
 func (r *Receiver) sendAck(e *sim.Engine) {
 	r.acksSent++
+	r.tel.acksSent.Inc()
 	r.unacked = 0
 	r.ackTimer.Cancel()
 	r.ackTimer = sim.EventRef{}

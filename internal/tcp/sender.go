@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/ip"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // SenderParams configures a Reno sender.
@@ -120,6 +121,31 @@ type Sender struct {
 	sent, retransmits, timeouts, quenches int64
 	started                               bool
 	stopped                               bool
+
+	tel senderTel
+}
+
+// senderTel holds the sender's pre-resolved telemetry handles (inert without
+// a registry).
+type senderTel struct {
+	segsSent     telemetry.Counter
+	retransmits  telemetry.Counter
+	timeouts     telemetry.Counter
+	quenches     telemetry.Counter
+	ecnReactions telemetry.Counter
+	cwndPeak     telemetry.Gauge
+}
+
+// Instrument registers the sender's counters with reg.
+func (s *Sender) Instrument(reg *telemetry.Registry) {
+	s.tel = senderTel{
+		segsSent:     reg.Counter("tcp.segments_sent"),
+		retransmits:  reg.Counter("tcp.retransmits"),
+		timeouts:     reg.Counter("tcp.timeouts"),
+		quenches:     reg.Counter("tcp.quenches"),
+		ecnReactions: reg.Counter("tcp.ecn_reactions"),
+		cwndPeak:     reg.Gauge("tcp.cwnd_bytes_peak"),
+	}
 }
 
 // NewSender constructs a sender for flow with output out.
@@ -184,6 +210,7 @@ func (s *Sender) Start(e *sim.Engine) error {
 }
 
 func (s *Sender) notifyCwnd(now sim.Time) {
+	s.tel.cwndPeak.Observe(uint64(s.cwnd))
 	if s.OnCwnd != nil {
 		s.OnCwnd(now, s.cwnd)
 	}
@@ -234,8 +261,10 @@ func (s *Sender) transmit(e *sim.Engine, seq int64, isRetransmit bool) {
 		SentAt:      e.Now(),
 	}
 	s.sent++
+	s.tel.segsSent.Inc()
 	if isRetransmit {
 		s.retransmits++
+		s.tel.retransmits.Inc()
 	}
 	// RTT timing (Karn: never time a retransmitted sequence).
 	if !s.timing && !isRetransmit {
@@ -269,6 +298,7 @@ func (s *Sender) onTimeout(e *sim.Engine) {
 		return
 	}
 	s.timeouts++
+	s.tel.timeouts.Inc()
 	flight := float64(s.sndNxt - s.sndUna)
 	s.ssthresh = maxF(flight/2, 2*float64(s.Params.MSS))
 	s.cwnd = float64(s.Params.MSS)
@@ -369,6 +399,7 @@ func (s *Sender) onECNEcho(e *sim.Engine) {
 	}
 	s.ecnReacted = true
 	s.ecnReactedAt = now
+	s.tel.ecnReactions.Inc()
 	mss := float64(s.Params.MSS)
 	s.ssthresh = maxF(s.cwnd/2, 2*mss)
 	s.cwnd = s.ssthresh
@@ -382,6 +413,7 @@ func (s *Sender) Quench(e *sim.Engine) {
 		return
 	}
 	s.quenches++
+	s.tel.quenches.Inc()
 	mss := float64(s.Params.MSS)
 	s.ssthresh = maxF(s.cwnd/2, 2*mss)
 	s.cwnd = mss

@@ -1,0 +1,262 @@
+// Package telemetry is the counter layer of the observability stack: a
+// per-engine registry of named uint64 counters and high-water gauges that
+// hot components bump through pre-resolved handles.
+//
+// The design constraints come from the simulator's performance contract
+// (DESIGN.md §9):
+//
+//   - Free when off. A nil *Registry hands out zero-value handles whose
+//     methods are no-ops on a nil entry — the same pattern as the nil
+//     *trace.Tracer — so components increment unconditionally and a
+//     telemetry-disabled run pays one predictable branch per event.
+//   - Near-free when on. Handles are resolved once at build time
+//     (Registry.Counter / Registry.Gauge); the hot path is a plain uint64
+//     add on a pre-resolved pointer. No map lookups, no atomics, no
+//     allocations after setup.
+//   - Single-goroutine, like the engine. A Registry belongs to exactly one
+//     experiment run, which owns exactly one goroutine at a time (the
+//     one-engine-per-goroutine contract). Cross-run aggregation happens on
+//     snapshots, never on live registries, so the counters need no locking
+//     and the race detector enforces the contract for free.
+//   - Deterministic aggregation. Snapshots merge with commutative,
+//     associative operations only — sum for counters, max for gauges — so
+//     fleet totals are bit-identical no matter the worker count or job
+//     completion order (the determinism test in internal/runner checks
+//     this).
+//
+// Naming convention: dotted lowercase paths, component first
+// ("link.cells_sent", "tcp.retransmits", "engine.events_fired"). Gauge
+// names end in "_peak"; Merge keys its max-vs-sum decision off that suffix
+// so snapshots stay plain map[string]uint64 end to end.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PeakSuffix marks gauge names. Snapshot values whose name carries this
+// suffix aggregate by max; everything else aggregates by sum.
+const PeakSuffix = "_peak"
+
+// entry is one registered quantity. Counter and Gauge handles point at it;
+// the value lives here so that idempotent re-registration (two links both
+// asking for "link.cells_sent") shares one accumulator.
+type entry struct {
+	name string
+	v    uint64
+}
+
+// Registry holds the counters of one experiment run. The zero value is not
+// usable; call New. A nil *Registry is valid and free: it hands out
+// zero-value handles and nil snapshots.
+type Registry struct {
+	byName  map[string]*entry
+	entries []*entry // registration-ordered; Snapshot sorts by name
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// resolve returns the entry for name, creating it on first use.
+func (r *Registry) resolve(name string) *entry {
+	if e, ok := r.byName[name]; ok {
+		return e
+	}
+	e := &entry{name: name}
+	r.byName[name] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter returns a pre-resolved handle for a monotonically increasing
+// count. Calling it twice with one name returns handles sharing one
+// accumulator, so instances of a component class aggregate naturally. On a
+// nil registry it returns the inert zero handle.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	if strings.HasSuffix(name, PeakSuffix) {
+		panic(fmt.Sprintf("telemetry: counter %q uses the gauge suffix %q", name, PeakSuffix))
+	}
+	return Counter{e: r.resolve(name)}
+}
+
+// Gauge returns a pre-resolved handle for a high-water mark. The name must
+// end in PeakSuffix so that Merge aggregates it by max. On a nil registry it
+// returns the inert zero handle.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	if !strings.HasSuffix(name, PeakSuffix) {
+		panic(fmt.Sprintf("telemetry: gauge %q must end in %q", name, PeakSuffix))
+	}
+	return Gauge{e: r.resolve(name)}
+}
+
+// Counter is a handle to a sum-aggregated quantity. The zero value (from a
+// nil registry) is inert: Add and Inc are no-ops, Value is zero.
+type Counter struct{ e *entry }
+
+// Add bumps the counter by n. A plain add — no atomics — because the
+// registry is single-goroutine like the engine it observes.
+func (c Counter) Add(n uint64) {
+	if c.e != nil {
+		c.e.v += n
+	}
+}
+
+// Inc bumps the counter by one.
+func (c Counter) Inc() {
+	if c.e != nil {
+		c.e.v++
+	}
+}
+
+// Value reads the current count (zero on an inert handle).
+func (c Counter) Value() uint64 {
+	if c.e == nil {
+		return 0
+	}
+	return c.e.v
+}
+
+// Gauge is a handle to a max-aggregated high-water mark. The zero value is
+// inert.
+type Gauge struct{ e *entry }
+
+// Observe records v, keeping the maximum seen.
+func (g Gauge) Observe(v uint64) {
+	if g.e != nil && v > g.e.v {
+		g.e.v = v
+	}
+}
+
+// Value reads the current high-water mark (zero on an inert handle).
+func (g Gauge) Value() uint64 {
+	if g.e == nil {
+		return 0
+	}
+	return g.e.v
+}
+
+// Snapshot copies the registry into a plain name→value map. A nil registry
+// snapshots to nil. The copy is detached: later increments do not show
+// through, which is what makes snapshots safe to merge across goroutines.
+func (r *Registry) Snapshot() map[string]uint64 {
+	if r == nil || len(r.entries) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(r.entries))
+	for _, e := range r.entries {
+		out[e.name] = e.v
+	}
+	return out
+}
+
+// Reset zeroes every registered value in place, keeping the entries and any
+// outstanding handles valid, so one registry can be reused across the sweep
+// points of an experiment without re-resolving handles.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, e := range r.entries {
+		e.v = 0
+	}
+}
+
+// Len returns the number of registered names.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}
+
+// Merge folds src into dst: names ending in PeakSuffix aggregate by max,
+// all others by sum. Both operations are commutative and associative, so
+// merging snapshots in any order — sequential, parallel, sharded — yields
+// identical totals. That property is the whole reason the convention is a
+// name suffix rather than out-of-band type metadata: a snapshot stays a
+// plain map that any consumer can merge correctly.
+func Merge(dst, src map[string]uint64) {
+	for k, v := range src {
+		if strings.HasSuffix(k, PeakSuffix) {
+			if v > dst[k] {
+				dst[k] = v
+			}
+		} else {
+			dst[k] += v
+		}
+	}
+}
+
+// Names returns the snapshot's keys sorted, the iteration order for any
+// rendered output (text report, Prometheus exposition, JSON golden).
+func Names(snap map[string]uint64) []string {
+	if len(snap) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteText renders the snapshot as aligned "name value" lines in sorted
+// order, the terminal form behind phantom-suite -telemetry.
+func WriteText(w io.Writer, snap map[string]uint64, indent string) (int64, error) {
+	var n int64
+	for _, name := range Names(snap) {
+		m, err := fmt.Fprintf(w, "%s%-40s %d\n", indent, name, snap[name])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format as a
+// single metric family with the counter name as a label:
+//
+//	phantom_counter{name="link.cells_sent"} 123456
+//
+// Folding the dotted names into a label sidesteps Prometheus's metric-name
+// charset without a lossy sanitization pass, and keeps the family stable as
+// components add counters. Extra labels (experiment id, run state) are
+// rendered on every sample.
+func WriteProm(w io.Writer, snap map[string]uint64, labels map[string]string) (int64, error) {
+	var n int64
+	m, err := fmt.Fprintf(w, "# TYPE phantom_counter untyped\n")
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var extra strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&extra, ",%s=%q", k, labels[k])
+	}
+	for _, name := range Names(snap) {
+		m, err := fmt.Fprintf(w, "phantom_counter{name=%q%s} %d\n", name, extra.String(), snap[name])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

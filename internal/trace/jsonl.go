@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// The JSONL wire format: one event per line, fields as typed objects so
+// that int/float/string distinction survives a round trip exactly (a bare
+// JSON number would come back float64). Timestamps are simulated
+// nanoseconds.
+//
+//	{"t":218000000,"component":"F0","kind":"drop","fields":[{"k":"vc","i":3}]}
+
+type jsonField struct {
+	K string   `json:"k"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+}
+
+type jsonEvent struct {
+	T         int64       `json:"t"`
+	Component string      `json:"component"`
+	Kind      string      `json:"kind"`
+	Fields    []jsonField `json:"fields,omitempty"`
+}
+
+// WriteJSONL writes events as JSON lines. This is the read path — it
+// allocates freely; the hot path is Emit.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		je := jsonEvent{T: int64(e.T), Component: e.Component, Kind: e.Kind}
+		for _, f := range e.Fields() {
+			jf := jsonField{K: f.Key}
+			switch f.kind {
+			case fieldInt:
+				v := f.i
+				jf.I = &v
+			case fieldFloat:
+				v := f.f
+				jf.F = &v
+			case fieldStr:
+				v := f.s
+				jf.S = &v
+			}
+			je.Fields = append(je.Fields, jf)
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportJSONL writes the tracer's retained events as JSON lines.
+func (tr *Tracer) ExportJSONL(w io.Writer) error {
+	return WriteJSONL(w, tr.Events())
+}
+
+// ReadJSONL parses a JSONL export back into events. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e := Event{T: sim.Time(je.T), Component: je.Component, Kind: je.Kind}
+		if len(je.Fields) > MaxFields {
+			return nil, fmt.Errorf("trace: line %d: %d fields exceeds max %d", line, len(je.Fields), MaxFields)
+		}
+		for i, jf := range je.Fields {
+			switch {
+			case jf.I != nil:
+				e.fields[i] = I(jf.K, *jf.I)
+			case jf.F != nil:
+				e.fields[i] = F(jf.K, *jf.F)
+			case jf.S != nil:
+				e.fields[i] = S(jf.K, *jf.S)
+			default:
+				e.fields[i] = Field{Key: jf.K}
+			}
+			e.nf++
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,30 +1,114 @@
-// Package trace provides a lightweight bounded event tracer for the
-// simulator. Components emit structured events (who, what, when); the
-// tracer keeps the most recent N in a ring so that a multi-million-event
-// run can still answer "what happened around the drop at 218 ms" without
-// unbounded memory. A nil *Tracer is valid and free: every method on it is
-// a no-op, so hot paths can emit unconditionally.
+// Package trace is the flight recorder of the observability stack: a
+// bounded ring of typed structured events (who, what, when, with which
+// values) that a multi-million-event run can keep always-on and still
+// answer "what happened around the drop at 218 ms" afterwards.
+//
+// Two properties make it cheap enough to leave enabled:
+//
+//   - A nil *Tracer is valid and free. Every method no-ops on nil, so hot
+//     paths emit unconditionally — the same contract as telemetry handles.
+//   - Emit stores typed fields, never formatted strings. The variadic
+//     []Field does not escape Emit (the fields are copied by value into the
+//     ring slot), so the call allocates nothing in steady state; formatting
+//     happens only when an event is actually read (Detail, String,
+//     WriteTo, JSONL export). The steady-state alloc test pins this.
+//
+// Like the engine it observes, a Tracer is single-goroutine; each
+// experiment run owns its own.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/sim"
 )
 
-// Event is one traced occurrence.
+// MaxFields is the number of typed fields one event can carry. Four covers
+// every emitter in the tree (VC + kind, rate, window bounds); Emit drops
+// extras rather than allocating.
+const MaxFields = 4
+
+// fieldKind discriminates the value slot a Field uses.
+type fieldKind uint8
+
+const (
+	fieldNone fieldKind = iota
+	fieldInt
+	fieldFloat
+	fieldStr
+)
+
+// Field is one typed key/value attached to an event. Construct with I, F
+// or S; the zero Field is empty and ignored.
+type Field struct {
+	Key  string
+	kind fieldKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// I returns an integer field.
+func I(key string, v int64) Field { return Field{Key: key, kind: fieldInt, i: v} }
+
+// F returns a float field.
+func F(key string, v float64) Field { return Field{Key: key, kind: fieldFloat, f: v} }
+
+// S returns a string field. The string should be a static or interned name
+// (a component, a pattern kind) — building one per emit would reintroduce
+// the allocation Emit exists to avoid.
+func S(key, v string) Field { return Field{Key: key, kind: fieldStr, s: v} }
+
+// append renders the field as key=value onto b.
+func (f Field) append(b []byte) []byte {
+	b = append(b, f.Key...)
+	b = append(b, '=')
+	switch f.kind {
+	case fieldInt:
+		b = strconv.AppendInt(b, f.i, 10)
+	case fieldFloat:
+		b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
+	case fieldStr:
+		b = append(b, f.s...)
+	}
+	return b
+}
+
+// Event is one traced occurrence. The fields array is inline — no per-event
+// heap storage — and formatted only on read.
 type Event struct {
 	T         sim.Time
 	Component string
 	Kind      string
-	Detail    string
+	fields    [MaxFields]Field
+	nf        uint8
+}
+
+// Fields returns the event's typed fields.
+func (e *Event) Fields() []Field { return e.fields[:e.nf] }
+
+// Detail formats the fields as "k=v k=v". It allocates; call it on read
+// paths only.
+func (e Event) Detail() string {
+	if e.nf == 0 {
+		return ""
+	}
+	var b []byte
+	for i := 0; i < int(e.nf); i++ {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = e.fields[i].append(b)
+	}
+	return string(b)
 }
 
 // String formats the event as a log line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12s %-12s %-12s %s", e.T, e.Component, e.Kind, e.Detail)
+	return fmt.Sprintf("%12s %-12s %-12s %s", e.T, e.Component, e.Kind, e.Detail())
 }
 
 // Tracer records events into a fixed-size ring.
@@ -43,18 +127,25 @@ func New(capacity int) *Tracer {
 	return &Tracer{ring: make([]Event, capacity)}
 }
 
-// Emit records an event. Detail is formatted lazily only in the sense that
-// callers should pass cheap values; guard expensive formatting with a nil
-// check where it matters.
-func (tr *Tracer) Emit(t sim.Time, component, kind, format string, args ...any) {
+// Emit records an event with up to MaxFields typed fields (extras are
+// dropped). The fields slice never escapes, so the variadic call is
+// stack-allocated at the call site and steady-state emission allocates
+// nothing.
+func (tr *Tracer) Emit(t sim.Time, component, kind string, fields ...Field) {
 	if tr == nil {
 		return
 	}
-	detail := format
-	if len(args) > 0 {
-		detail = fmt.Sprintf(format, args...)
+	slot := &tr.ring[tr.next]
+	slot.T, slot.Component, slot.Kind = t, component, kind
+	n := len(fields)
+	if n > MaxFields {
+		n = MaxFields
 	}
-	tr.ring[tr.next] = Event{T: t, Component: component, Kind: kind, Detail: detail}
+	slot.nf = uint8(n)
+	copy(slot.fields[:n], fields[:n])
+	for i := n; i < MaxFields; i++ {
+		slot.fields[i] = Field{}
+	}
 	tr.next++
 	tr.seen++
 	if tr.next == len(tr.ring) {
@@ -71,7 +162,35 @@ func (tr *Tracer) Seen() int64 {
 	return tr.seen
 }
 
-// Events returns the retained events in chronological order.
+// Cap returns the ring capacity.
+func (tr *Tracer) Cap() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.ring)
+}
+
+// Reset empties the tracer in place, keeping the ring storage, so one
+// tracer can be reused across the sweep points of an experiment the way
+// pooled metrics.Series are.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	// Clear retained slots so the ring does not pin field strings from the
+	// previous sweep point beyond its lifetime.
+	for i := range tr.ring {
+		tr.ring[i] = Event{}
+	}
+	tr.next = 0
+	tr.full = false
+	tr.seen = 0
+}
+
+// Events returns the retained events in chronological order. Chronological
+// holds by construction: the engine fires in (time, seq) order and the ring
+// preserves arrival order, so oldest-to-newest is ring order starting at
+// next when full.
 func (tr *Tracer) Events() []Event {
 	if tr == nil {
 		return nil
@@ -87,11 +206,59 @@ func (tr *Tracer) Events() []Event {
 	return out
 }
 
-// Filter returns retained events whose component or kind contains q.
+// Query selects events. Zero fields match everything: string fields match
+// by substring (Detail against the formatted field text, so a session ID
+// in a field is findable), and the window [From, To] is inclusive with
+// To == 0 meaning unbounded.
+type Query struct {
+	Component string
+	Kind      string
+	Detail    string
+	From      sim.Time
+	To        sim.Time
+}
+
+// Match reports whether e satisfies q.
+func (q Query) Match(e *Event) bool {
+	if e.T < q.From || (q.To != 0 && e.T > q.To) {
+		return false
+	}
+	if q.Component != "" && !strings.Contains(e.Component, q.Component) {
+		return false
+	}
+	if q.Kind != "" && !strings.Contains(e.Kind, q.Kind) {
+		return false
+	}
+	if q.Detail != "" && !strings.Contains(e.Detail(), q.Detail) {
+		return false
+	}
+	return true
+}
+
+// Select returns the retained events satisfying q, in chronological order.
+func (tr *Tracer) Select(q Query) []Event {
+	return SelectEvents(tr.Events(), q)
+}
+
+// SelectEvents filters an event slice (retained or loaded from a JSONL
+// export) by q, preserving order.
+func SelectEvents(events []Event, q Query) []Event {
+	var out []Event
+	for i := range events {
+		if q.Match(&events[i]) {
+			out = append(out, events[i])
+		}
+	}
+	return out
+}
+
+// Filter returns retained events whose component, kind or formatted detail
+// contains q — the quick one-string lookup behind the CLIs' -trace-grep.
 func (tr *Tracer) Filter(q string) []Event {
 	var out []Event
 	for _, e := range tr.Events() {
-		if strings.Contains(e.Component, q) || strings.Contains(e.Kind, q) {
+		if strings.Contains(e.Component, q) || strings.Contains(e.Kind, q) ||
+			strings.Contains(e.Detail(), q) {
 			out = append(out, e)
 		}
 	}

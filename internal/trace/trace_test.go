@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -9,67 +10,171 @@ import (
 
 func TestNilTracerIsFree(t *testing.T) {
 	var tr *Tracer
-	tr.Emit(0, "x", "y", "z")
-	if tr.Events() != nil || tr.Seen() != 0 {
+	tr.Emit(0, "x", "y", I("z", 1))
+	if tr.Events() != nil || tr.Seen() != 0 || tr.Cap() != 0 {
 		t.Fatal("nil tracer not inert")
+	}
+	tr.Reset() // must not panic
+	if got := tr.Select(Query{}); got != nil {
+		t.Fatalf("nil Select = %v", got)
 	}
 }
 
-func TestEmitAndEvents(t *testing.T) {
+func TestEmitAndDetail(t *testing.T) {
 	tr := New(8)
-	tr.Emit(10, "src1", "rate", "acr=%d", 42)
-	tr.Emit(20, "trunk0", "drop", "plain detail")
+	tr.Emit(10, "src1", "rate", F("acr", 42))
+	tr.Emit(20, "trunk0", "drop", I("vc", 3), S("kind", "data"))
+	tr.Emit(30, "trunk0", "tick")
 	evs := tr.Events()
-	if len(evs) != 2 {
+	if len(evs) != 3 {
 		t.Fatalf("events = %d", len(evs))
 	}
-	if evs[0].Detail != "acr=42" {
-		t.Fatalf("formatting wrong: %q", evs[0].Detail)
+	if evs[0].Detail() != "acr=42" {
+		t.Fatalf("float detail = %q", evs[0].Detail())
 	}
-	if evs[1].Detail != "plain detail" {
-		t.Fatalf("no-arg detail wrong: %q", evs[1].Detail)
+	if evs[1].Detail() != "vc=3 kind=data" {
+		t.Fatalf("multi detail = %q", evs[1].Detail())
 	}
-	if tr.Seen() != 2 {
+	if evs[2].Detail() != "" {
+		t.Fatalf("empty detail = %q", evs[2].Detail())
+	}
+	if tr.Seen() != 3 {
 		t.Fatalf("seen = %d", tr.Seen())
 	}
 }
 
-func TestRingEviction(t *testing.T) {
+// TestEmitSteadyStateAllocFree is the flight-recorder half of the
+// zero-alloc contract, mirroring internal/sim's hot-path test: once the
+// ring exists, emitting typed events — including evicting old ones —
+// allocates nothing, because fields are stored typed (no eager Sprintf) and
+// the variadic slice never escapes Emit.
+func TestEmitSteadyStateAllocFree(t *testing.T) {
+	tr := New(64)
+	var tick sim.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		tick++
+		tr.Emit(tick, "trunk0", "drop", I("vc", int64(tick)), F("acr", 1.5), S("k", "data"))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Emit allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestEmitFieldOverflowDropped(t *testing.T) {
 	tr := New(4)
-	for i := 0; i < 10; i++ {
-		tr.Emit(sim.Time(i), "c", "k", "e%d", i)
+	tr.Emit(1, "c", "k",
+		I("a", 1), I("b", 2), I("c", 3), I("d", 4), I("e", 5))
+	evs := tr.Events()
+	if got := len(evs[0].Fields()); got != MaxFields {
+		t.Fatalf("retained %d fields, want %d", got, MaxFields)
+	}
+	if evs[0].Detail() != "a=1 b=2 c=3 d=4" {
+		t.Fatalf("detail = %q", evs[0].Detail())
+	}
+}
+
+// TestRingWraparound pins the eviction and ordering guarantees: after the
+// ring wraps (including several times over), Events returns exactly the
+// last capacity events, chronologically ordered, with no stale fields
+// bleeding through from evicted occupants.
+func TestRingWraparound(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 11; i++ {
+		if i%2 == 0 {
+			tr.Emit(sim.Time(i), "c", "k", I("seq", int64(i)), S("tag", "even"))
+		} else {
+			tr.Emit(sim.Time(i), "c", "k", I("seq", int64(i)))
+		}
 	}
 	evs := tr.Events()
 	if len(evs) != 4 {
 		t.Fatalf("retained = %d, want 4", len(evs))
 	}
-	// Chronological, last four.
-	for i, e := range evs {
-		if e.T != sim.Time(6+i) {
-			t.Fatalf("evs[%d].T = %v, want %d", i, e.T, 6+i)
+	for i := range evs {
+		want := sim.Time(7 + i)
+		if evs[i].T != want {
+			t.Fatalf("evs[%d].T = %v, want %v", i, evs[i].T, want)
+		}
+		if i > 0 && evs[i].T < evs[i-1].T {
+			t.Fatalf("not chronological at %d", i)
+		}
+		wantFields := 1
+		if (7+i)%2 == 0 {
+			wantFields = 2
+		}
+		if got := len(evs[i].Fields()); got != wantFields {
+			t.Fatalf("evs[%d] has %d fields, want %d (stale slot?)", i, got, wantFields)
 		}
 	}
-	if tr.Seen() != 10 {
+	if tr.Seen() != 11 {
 		t.Fatalf("seen = %d", tr.Seen())
 	}
 }
 
-func TestFilter(t *testing.T) {
+func TestReset(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 9; i++ {
+		tr.Emit(sim.Time(i), "c", "k", I("i", int64(i)))
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Seen() != 0 {
+		t.Fatal("Reset left events behind")
+	}
+	// Reusable after Reset, with correct ordering from a clean slate.
+	tr.Emit(100, "c", "k")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].T != 100 {
+		t.Fatalf("post-Reset events = %+v", evs)
+	}
+}
+
+func TestFilterMatchesDetail(t *testing.T) {
 	tr := New(8)
-	tr.Emit(1, "src1", "rate", "a")
-	tr.Emit(2, "trunk0", "drop", "b")
-	tr.Emit(3, "src2", "rate", "c")
+	tr.Emit(1, "src1", "rate", F("acr", 10))
+	tr.Emit(2, "trunk0", "drop", I("vc", 7))
+	tr.Emit(3, "src2", "rate", F("acr", 20))
 	if got := len(tr.Filter("rate")); got != 2 {
 		t.Fatalf("Filter(rate) = %d", got)
 	}
 	if got := len(tr.Filter("trunk")); got != 1 {
 		t.Fatalf("Filter(trunk) = %d", got)
 	}
+	// The satellite fix: a value that only appears in the detail text is
+	// findable (formerly Filter silently ignored Detail).
+	if got := len(tr.Filter("vc=7")); got != 1 {
+		t.Fatalf("Filter(vc=7) = %d, want 1", got)
+	}
+}
+
+func TestSelectQuery(t *testing.T) {
+	tr := New(16)
+	tr.Emit(sim.Time(1*sim.Millisecond), "S0", "drop", I("vc", 1))
+	tr.Emit(sim.Time(2*sim.Millisecond), "S1", "drop", I("vc", 2))
+	tr.Emit(sim.Time(3*sim.Millisecond), "S1", "rate", F("acr", 5))
+	tr.Emit(sim.Time(4*sim.Millisecond), "S1", "drop", I("vc", 2))
+
+	if got := tr.Select(Query{Component: "S1"}); len(got) != 3 {
+		t.Fatalf("component query = %d", len(got))
+	}
+	if got := tr.Select(Query{Component: "S1", Kind: "drop"}); len(got) != 2 {
+		t.Fatalf("component+kind query = %d", len(got))
+	}
+	win := tr.Select(Query{From: sim.Time(2 * sim.Millisecond), To: sim.Time(3 * sim.Millisecond)})
+	if len(win) != 2 || win[0].T != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("window query = %+v", win)
+	}
+	if got := tr.Select(Query{Detail: "vc=2"}); len(got) != 2 {
+		t.Fatalf("detail query = %d", len(got))
+	}
+	// To == 0 means unbounded above.
+	if got := tr.Select(Query{From: sim.Time(3 * sim.Millisecond)}); len(got) != 2 {
+		t.Fatalf("open-ended window = %d", len(got))
+	}
 }
 
 func TestWriteTo(t *testing.T) {
 	tr := New(8)
-	tr.Emit(sim.Time(5*sim.Millisecond), "src1", "rate", "acr=7")
+	tr.Emit(sim.Time(5*sim.Millisecond), "src1", "rate", I("acr", 7))
 	var b strings.Builder
 	n, err := tr.WriteTo(&b)
 	if err != nil || n == 0 {
@@ -83,9 +188,45 @@ func TestWriteTo(t *testing.T) {
 func TestZeroCapacityDefaults(t *testing.T) {
 	tr := New(0)
 	for i := 0; i < 2000; i++ {
-		tr.Emit(sim.Time(i), "c", "k", "")
+		tr.Emit(sim.Time(i), "c", "k")
 	}
 	if len(tr.Events()) != 1024 {
 		t.Fatalf("default capacity = %d", len(tr.Events()))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(16)
+	tr.Emit(sim.Time(218*sim.Millisecond), "S1", "drop", I("vc", 3), S("cell", "data"))
+	tr.Emit(sim.Time(219*sim.Millisecond), "src0", "rate", F("acr", 353207.5471698113))
+	tr.Emit(sim.Time(220*sim.Millisecond), "S1", "tick")
+
+	var b strings.Builder
+	if err := tr.ExportJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Fatalf("exported %d lines, want 3", got)
+	}
+	back, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, tr.Events()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tr.Events())
+	}
+	// Typed values survive exactly, including the full float.
+	if back[1].Detail() != tr.Events()[1].Detail() {
+		t.Fatalf("float detail drifted: %q vs %q", back[1].Detail(), tr.Events()[1].Detail())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank lines: %v, %v", evs, err)
 	}
 }
