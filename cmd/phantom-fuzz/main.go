@@ -1,0 +1,139 @@
+// Command phantom-fuzz runs invariant-checking campaigns over generated
+// scenarios: seeded draws from the scengen families (parking-lot chains,
+// fat trees, Waxman meshes, flash crowds, web mixes, transient schedules)
+// are built, run, and checked against the flow-control invariants (cell
+// conservation, queue bounds, max-min envelope, settling, utilization).
+//
+// Campaigns are deterministic: scenario (family, index) always maps to the
+// same seed — the fleet derivation — so output is bit-identical across runs
+// and worker counts, and any finding can be replayed alone with -family and
+// -seed.
+//
+//	phantom-fuzz -n 200                  # 200 scenarios per family
+//	phantom-fuzz -family waxman -n 1000  # one family, deeper
+//	phantom-fuzz -family waxman -seed 7  # replay one scenario, verbosely
+//	phantom-fuzz -n 50 -crosscheck       # also diff heap vs wheel runs
+//	phantom-fuzz -n 200 -minimize -freeze testdata/fuzz-regressions
+//
+// Exit status is 1 when any scenario violated an invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/scengen"
+	"repro/internal/sim"
+	"repro/internal/simconfig"
+)
+
+func main() {
+	c := cli.New("phantom-fuzz", cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagProfile)
+	n := flag.Int("n", 100, "scenarios per family")
+	familyName := flag.String("family", "", "restrict to one family (default all): parkinglot, fattree, waxman, flashcrowd, webmix, transient")
+	seedFlag := flag.Uint64("seed", 0, "replay exactly one scenario with this seed (requires -family)")
+	minimize := flag.Bool("minimize", false, "shrink each failing scenario to a minimal reproducer")
+	freezeDir := flag.String("freeze", "", "write failing scenarios as regression files into this directory")
+	crossCheck := flag.Bool("crosscheck", false, "run every scenario on both scheduler backends and compare")
+	c.Parse()
+
+	var families []scengen.Family
+	if *familyName != "" {
+		f, err := scengen.ParseFamily(*familyName)
+		if err != nil {
+			c.Fatal(err)
+		}
+		families = []scengen.Family{f}
+	}
+
+	if *seedFlag != 0 {
+		if len(families) != 1 {
+			c.Fatal(fmt.Errorf("-seed needs -family to pick the generator"))
+		}
+		clean, err := replayOne(c, families[0], *seedFlag, *minimize, *freezeDir)
+		if err != nil {
+			c.Fatal(err)
+		}
+		c.Close()
+		if !clean {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := scengen.RunCampaign(scengen.CampaignConfig{
+		Families:   families,
+		N:          *n,
+		Workers:    c.Workers,
+		Scheduler:  c.Scheduler,
+		CrossCheck: *crossCheck,
+		Minimize:   *minimize,
+	})
+	if err != nil {
+		c.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	if !c.Quiet {
+		fmt.Printf("wall %v, %.1fx parallel speedup\n",
+			rep.Stats.Wall.Round(1000000), float64(rep.Stats.WorkWall)/float64(rep.Stats.Wall))
+	}
+	if *freezeDir != "" {
+		for i := range rep.Findings {
+			path, err := scengen.Freeze(&rep.Findings[i], *freezeDir)
+			if err != nil {
+				c.Fatal(err)
+			}
+			fmt.Printf("froze %s\n", path)
+		}
+	}
+	c.Close()
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayOne generates and checks a single (family, seed) scenario,
+// printing its text and full outcome — the debugging view for a campaign
+// finding.
+func replayOne(c *cli.Common, fam scengen.Family, seed uint64, minimize bool, freezeDir string) (clean bool, err error) {
+	spec, text, err := scengen.Generate(fam, seed)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("# %s seed=%d\n%s", fam, seed, text)
+	sched := c.Scheduler
+	if sched == sim.SchedulerDefault {
+		sched = sim.SchedulerHeap
+	}
+	o, err := scengen.RunSpec(spec, sched)
+	if err != nil {
+		return false, err
+	}
+	violations := scengen.Check(o)
+	fmt.Printf("\nfingerprint: %s\n", o.Fingerprint)
+	if len(violations) == 0 {
+		fmt.Println("all invariants hold")
+		return true, nil
+	}
+	for _, v := range violations {
+		fmt.Printf("VIOLATION %s\n", v)
+	}
+	f := &scengen.Finding{Family: fam, Index: -1, Seed: seed, Text: text, Violations: violations}
+	if minimize {
+		min := scengen.Minimize(spec, violations[0].Name, sched)
+		if mt, err := simconfig.Emit(min); err == nil && mt != text {
+			f.Minimized = mt
+			fmt.Printf("\nminimized reproducer:\n%s", mt)
+		}
+	}
+	if freezeDir != "" {
+		path, err := scengen.Freeze(f, freezeDir)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("froze %s\n", path)
+	}
+	return false, nil
+}

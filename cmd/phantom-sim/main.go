@@ -1,6 +1,7 @@
-// Command phantom-sim runs an arbitrary linear ATM topology described in
-// the simconfig language on standard input and prints the standard figure
+// Command phantom-sim runs an arbitrary ATM topology described in the
+// simconfig language on standard input and prints the standard figure
 // triple (queue, fair-share estimate, session rates) plus a summary table.
+// Linear ("switches") and general-graph ("nodes"/"edge") dialects both run.
 //
 // Example:
 //
@@ -29,6 +30,24 @@ import (
 	"repro/internal/trace"
 )
 
+// view is the render-side picture of a finished run, the same for the
+// linear and the graph builder: labeled series plus the summary inputs.
+type view struct {
+	algName  string
+	sessions []string
+	acr      []*metrics.Series
+	goodput  []*metrics.Series
+	// queues/fairShares hold only the recorded (non-nil) series.
+	queues      []*metrics.Series
+	queueLabels []string
+	fairShares  []*metrics.Series
+	fsLabels    []string
+	oracle      []float64
+	// lines are the per-link utilization/peak-queue summary rows.
+	lines []string
+	trace *trace.Tracer
+}
+
 func main() {
 	c := cli.New("phantom-sim", cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile)
 	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
@@ -40,99 +59,190 @@ func main() {
 	if err != nil {
 		c.Fatal(err)
 	}
-	spec.Config.Scheduler = c.Scheduler
+	var tr *trace.Tracer
 	if *traceN > 0 {
-		spec.Config.Trace = trace.New(*traceN)
+		tr = trace.New(*traceN)
 	}
-	n, err := scenario.BuildATM(spec.Config)
-	if err != nil {
-		c.Fatal(err)
+
+	var v *view
+	var end sim.Time
+	if spec.Graph != nil {
+		cfg := *spec.Graph
+		cfg.Scheduler = c.Scheduler
+		cfg.Trace = tr
+		n, err := scenario.BuildGraph(cfg)
+		if err != nil {
+			c.Fatal(err)
+		}
+		n.Run(spec.Duration)
+		end = n.Engine.Now()
+		if v, err = graphView(spec, n); err != nil {
+			c.Fatal(err)
+		}
+	} else {
+		cfg := spec.Config
+		cfg.Scheduler = c.Scheduler
+		cfg.Trace = tr
+		n, err := scenario.BuildATM(cfg)
+		if err != nil {
+			c.Fatal(err)
+		}
+		n.Run(spec.Duration)
+		end = n.Engine.Now()
+		if v, err = linearView(spec, n); err != nil {
+			c.Fatal(err)
+		}
 	}
-	n.Run(spec.Duration)
-	end := n.Engine.Now()
 
 	if !c.Quiet {
-		q := plot.NewChart("trunk queue length", "cells", 0, end)
-		for k, s := range n.TrunkQueue {
-			q.Add(s, fmt.Sprintf("trunk%d", k))
-		}
-		fmt.Println(q.Render())
+		render(v, end)
+	}
+	summarize(v, end)
 
-		fsChart := plot.NewChart("fair-share estimate ("+spec.AlgName+")", "cells/s", 0, end)
-		any := false
-		for k, s := range n.FairShare {
-			if s != nil {
-				fsChart.Add(s, fmt.Sprintf("trunk%d", k))
-				any = true
-			}
-		}
-		if any {
-			fmt.Println(fsChart.Render())
-		}
-
-		acr := plot.NewChart("sessions' allowed rate", "cells/s", 0, end)
-		for i, s := range n.ACR {
-			acr.Add(s, n.Config.Sessions[i].Name)
-		}
-		fmt.Println(acr.Render())
-	}
-
-	oracle, err := n.MaxMinOracle()
-	if err != nil {
-		c.Fatal(err)
-	}
-	from := end - sim.Time(float64(end)*0.25)
-	tb := plot.NewTable("summary ("+spec.AlgName+")",
-		"session", "goodput(cells/s)", "max-min oracle", "ratio", "finalACR")
-	var got []float64
-	for i := range n.Config.Sessions {
-		g := n.Goodput[i].TimeAvg(from, end)
-		got = append(got, g)
-		tb.AddRow(n.Config.Sessions[i].Name, g, oracle[i], g/oracle[i], n.ACR[i].Last())
-	}
-	fmt.Println(tb.Render())
-	fmt.Printf("normalized Jain vs oracle: %.4f\n", metrics.NormalizedJainIndex(got, oracle))
-	for k := range n.TrunkQueue {
-		fmt.Printf("trunk%d: utilization %.1f%%, peak queue %d cells\n",
-			k, 100*n.TrunkUtilization(k), n.PeakTrunkQueue[k])
-	}
 	if *svgDir != "" {
-		if err := writeSVGs(*svgDir, spec.AlgName, n, end); err != nil {
+		if err := writeSVGs(*svgDir, v, end); err != nil {
 			c.Fatal(err)
 		}
 	}
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, n, end); err != nil {
+		if err := writeCSV(*csvPath, v, end); err != nil {
 			c.Fatal(err)
 		}
 	}
-	if tr := spec.Config.Trace; tr != nil {
-		fmt.Printf("\ntrace (last %d of %d events):\n", len(tr.Events()), tr.Seen())
-		if _, err := tr.WriteTo(os.Stdout); err != nil {
+	if v.trace != nil {
+		fmt.Printf("\ntrace (last %d of %d events):\n", len(v.trace.Events()), v.trace.Seen())
+		if _, err := v.trace.WriteTo(os.Stdout); err != nil {
 			c.Fatal(err)
 		}
 	}
 	c.Close()
 }
 
+func linearView(spec *simconfig.Spec, n *scenario.ATMNet) (*view, error) {
+	oracle, err := n.MaxMinOracle()
+	if err != nil {
+		return nil, err
+	}
+	v := &view{algName: spec.AlgName, acr: n.ACR, goodput: n.Goodput,
+		oracle: oracle, trace: n.Config.Trace}
+	for _, s := range n.Config.Sessions {
+		v.sessions = append(v.sessions, s.Name)
+	}
+	for k, s := range n.TrunkQueue {
+		v.queues = append(v.queues, s)
+		v.queueLabels = append(v.queueLabels, fmt.Sprintf("trunk%d", k))
+		v.lines = append(v.lines, fmt.Sprintf("trunk%d: utilization %.1f%%, peak queue %d cells",
+			k, 100*n.TrunkUtilization(k), n.PeakTrunkQueue[k]))
+	}
+	for k, s := range n.FairShare {
+		if s != nil {
+			v.fairShares = append(v.fairShares, s)
+			v.fsLabels = append(v.fsLabels, fmt.Sprintf("trunk%d", k))
+		}
+	}
+	return v, nil
+}
+
+func graphView(spec *simconfig.Spec, n *scenario.GraphNet) (*view, error) {
+	oracle, err := n.MaxMinOracle()
+	if err != nil {
+		return nil, err
+	}
+	v := &view{algName: spec.AlgName, acr: n.ACR, goodput: n.Goodput,
+		oracle: oracle, trace: n.Config.Trace}
+	for _, s := range n.Config.Sessions {
+		v.sessions = append(v.sessions, s.Name)
+	}
+	// Directed link 2k is edge k's U→V direction, 2k+1 the reverse; label
+	// by endpoints. Only links on some forward path are recorded.
+	label := func(l int) string {
+		e := n.Config.Edges[l/2]
+		u, w := e.U, e.V
+		if l%2 == 1 {
+			u, w = w, u
+		}
+		return fmt.Sprintf("link%d-%d", u, w)
+	}
+	elapsed := n.Engine.Now().Seconds()
+	for l, s := range n.LinkQueue {
+		if s == nil {
+			continue
+		}
+		v.queues = append(v.queues, s)
+		v.queueLabels = append(v.queueLabels, label(l))
+		util := 0.0
+		if elapsed > 0 {
+			util = float64(n.LinkSent(l)) / (n.LinkCapacityCPS(l) * elapsed)
+		}
+		v.lines = append(v.lines, fmt.Sprintf("%s: utilization %.1f%%, peak queue %d cells",
+			label(l), 100*util, n.PeakLinkQueue[l]))
+	}
+	for l, s := range n.FairShare {
+		if s != nil {
+			v.fairShares = append(v.fairShares, s)
+			v.fsLabels = append(v.fsLabels, label(l))
+		}
+	}
+	return v, nil
+}
+
+// render prints the figure triple.
+func render(v *view, end sim.Time) {
+	q := plot.NewChart("queue length", "cells", 0, end)
+	for i, s := range v.queues {
+		q.Add(s, v.queueLabels[i])
+	}
+	fmt.Println(q.Render())
+
+	if len(v.fairShares) > 0 {
+		fs := plot.NewChart("fair-share estimate ("+v.algName+")", "cells/s", 0, end)
+		for i, s := range v.fairShares {
+			fs.Add(s, v.fsLabels[i])
+		}
+		fmt.Println(fs.Render())
+	}
+
+	acr := plot.NewChart("sessions' allowed rate", "cells/s", 0, end)
+	for i, s := range v.acr {
+		acr.Add(s, v.sessions[i])
+	}
+	fmt.Println(acr.Render())
+}
+
+// summarize prints the per-session table and per-link lines.
+func summarize(v *view, end sim.Time) {
+	from := end - sim.Time(float64(end)*0.25)
+	tb := plot.NewTable("summary ("+v.algName+")",
+		"session", "goodput(cells/s)", "max-min oracle", "ratio", "finalACR")
+	var got []float64
+	for i, name := range v.sessions {
+		g := v.goodput[i].TimeAvg(from, end)
+		got = append(got, g)
+		tb.AddRow(name, g, v.oracle[i], g/v.oracle[i], v.acr[i].Last())
+	}
+	fmt.Println(tb.Render())
+	fmt.Printf("normalized Jain vs oracle: %.4f\n", metrics.NormalizedJainIndex(got, v.oracle))
+	for _, line := range v.lines {
+		fmt.Println(line)
+	}
+}
+
 // writeSVGs regenerates the figure triple as SVG files.
-func writeSVGs(dir, algName string, n *scenario.ATMNet, end sim.Time) error {
+func writeSVGs(dir string, v *view, end sim.Time) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	q := plot.NewSVG("trunk queue length", "cells", 0, end)
-	for k, s := range n.TrunkQueue {
-		q.Add(s, fmt.Sprintf("trunk%d", k))
+	q := plot.NewSVG("queue length", "cells", 0, end)
+	for i, s := range v.queues {
+		q.Add(s, v.queueLabels[i])
 	}
-	fs := plot.NewSVG("fair-share estimate ("+algName+")", "cells/s", 0, end)
-	for k, s := range n.FairShare {
-		if s != nil {
-			fs.Add(s, fmt.Sprintf("trunk%d", k))
-		}
+	fs := plot.NewSVG("fair-share estimate ("+v.algName+")", "cells/s", 0, end)
+	for i, s := range v.fairShares {
+		fs.Add(s, v.fsLabels[i])
 	}
 	acr := plot.NewSVG("sessions' allowed rate", "cells/s", 0, end)
-	for i, s := range n.ACR {
-		acr.Add(s, n.Config.Sessions[i].Name)
+	for i, s := range v.acr {
+		acr.Add(s, v.sessions[i])
 	}
 	for name, chart := range map[string]*plot.SVG{
 		"queue.svg": q, "fairshare.svg": fs, "acr.svg": acr,
@@ -146,22 +256,20 @@ func writeSVGs(dir, algName string, n *scenario.ATMNet, end sim.Time) error {
 }
 
 // writeCSV exports every recorded series on a common grid.
-func writeCSV(path string, n *scenario.ATMNet, end sim.Time) error {
+func writeCSV(path string, v *view, end sim.Time) error {
 	var series []*metrics.Series
 	var labels []string
-	for i, s := range n.ACR {
+	for i, s := range v.acr {
 		series = append(series, s)
-		labels = append(labels, "acr_"+n.Config.Sessions[i].Name)
+		labels = append(labels, "acr_"+v.sessions[i])
 	}
-	for k, s := range n.TrunkQueue {
+	for i, s := range v.queues {
 		series = append(series, s)
-		labels = append(labels, fmt.Sprintf("queue_trunk%d", k))
+		labels = append(labels, "queue_"+v.queueLabels[i])
 	}
-	for k, s := range n.FairShare {
-		if s != nil {
-			series = append(series, s)
-			labels = append(labels, fmt.Sprintf("fairshare_trunk%d", k))
-		}
+	for i, s := range v.fairShares {
+		series = append(series, s)
+		labels = append(labels, "fairshare_"+v.fsLabels[i])
 	}
 	out := plot.CSV(0, end, 1000, series, labels)
 	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {

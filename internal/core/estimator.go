@@ -47,6 +47,12 @@ func (m *MACREstimator) MACR() float64 { return m.macr }
 // and tests.
 func (m *MACREstimator) MeanDev() float64 { return m.mdev }
 
+// SetCapacity rebases the estimator on a new link capacity (units/s),
+// keeping the filter state. Mid-run capacity changes (transient schedules)
+// call this so clamps and the adaptive-gain epsilon follow the live line
+// instead of the build-time snapshot.
+func (m *MACREstimator) SetCapacity(c float64) { m.cfg.Capacity = c }
+
 // Observe folds one interval's measured residual bandwidth (units/s) into
 // the estimate and returns the updated MACR. The estimate is clamped to
 // [0, target capacity]: the phantom session can neither have negative rate

@@ -21,6 +21,12 @@ func NewMeter(target float64, start sim.Time) *Meter {
 // Add records that n units were transmitted.
 func (m *Meter) Add(n float64) { m.used += n }
 
+// SetTarget retargets the meter to a new C_target (units/s). The current
+// interval's accumulated traffic is kept; the next Close measures against
+// the new target. Transient capacity changes (a trunk rate cut mid-run)
+// use this so the residual observation tracks the live line.
+func (m *Meter) SetTarget(target float64) { m.target = target }
+
 // Used returns the units accumulated in the current interval.
 func (m *Meter) Used() float64 { return m.used }
 

@@ -23,6 +23,11 @@ type PortControl struct {
 	// units the meter counts; each tick the residual is charged
 	// backlog/DrainTime so standing queues drain (see Config.DrainTime).
 	Queue func() float64
+	// Capacity, if non-nil, reports the port's live line rate each tick, so
+	// a transient capacity change (scenario.TransientRate) retargets the
+	// meter and estimator instead of leaving them on the build-time
+	// snapshot. With a constant line this is a no-op.
+	Capacity func() float64
 }
 
 // NewPortControl validates cfg and builds the controller with its first
@@ -57,6 +62,13 @@ func (p *PortControl) Transmitted(n float64) { p.meter.Add(n) }
 
 // Tick closes the current measurement interval at now and updates MACR.
 func (p *PortControl) Tick(now sim.Time) {
+	if p.Capacity != nil {
+		if c := p.Capacity(); c > 0 && c != p.cfg.Capacity {
+			p.cfg.Capacity = c
+			p.meter.SetTarget(c * p.cfg.TargetUtilization)
+			p.est.SetCapacity(c)
+		}
+	}
 	target := p.cfg.Capacity * p.cfg.TargetUtilization
 	residual := p.meter.Close(now)
 	used := target - residual

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Edge shapes of the max-min solver that the fuzz campaign's generated
+// problems can reach: dead links, trivial populations, empty problems.
+
+func TestMaxMinZeroCapacity(t *testing.T) {
+	// A zero-capacity link freezes its sessions at rate 0 without looping;
+	// sessions avoiding it are unaffected.
+	rates, err := MaxMinSolve(MaxMinProblem{
+		Capacity: []float64{0, 10},
+		Sessions: [][]int{{0}, {0, 1}, {1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != 0 || rates[1] != 0 {
+		t.Fatalf("sessions on a dead link got %v and %v, want 0", rates[0], rates[1])
+	}
+	if math.Abs(rates[2]-10) > 1e-9 {
+		t.Fatalf("session on the live link got %v, want the full 10", rates[2])
+	}
+}
+
+func TestMaxMinSingleSession(t *testing.T) {
+	rates, err := MaxMinSolve(MaxMinProblem{
+		Capacity: []float64{7, 3, 9},
+		Sessions: [][]int{{0, 1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-3) > 1e-9 {
+		t.Fatalf("lone session got %v, want its tightest link's 3", rates[0])
+	}
+}
+
+func TestMaxMinEmptyProblem(t *testing.T) {
+	// No sessions: a valid, already-solved problem.
+	rates, err := MaxMinSolve(MaxMinProblem{Capacity: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 0 {
+		t.Fatalf("no sessions should yield no rates, got %v", rates)
+	}
+	// No links either.
+	rates, err = MaxMinSolve(MaxMinProblem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 0 {
+		t.Fatalf("empty problem should yield no rates, got %v", rates)
+	}
+}
+
+func TestMaxMinNaNCapacityRejected(t *testing.T) {
+	if _, err := MaxMinSolve(MaxMinProblem{
+		Capacity: []float64{math.NaN()},
+		Sessions: [][]int{{0}},
+	}); err == nil {
+		t.Fatal("NaN capacity accepted")
+	}
+}
+
+func TestMaxMinDuplicateLinkInPath(t *testing.T) {
+	// A session listing the same link twice still gets a finite, feasible
+	// rate (the solver treats it as two crossings of one bottleneck).
+	rates, err := MaxMinSolve(MaxMinProblem{
+		Capacity: []float64{10},
+		Sessions: [][]int{{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(rates[0], 0) || math.IsNaN(rates[0]) || rates[0] > 10 {
+		t.Fatalf("duplicate-link path got infeasible rate %v", rates[0])
+	}
+}
+
+// Convergence-time edges the ACR settling invariant leans on.
+
+func TestConvergenceTimeConstantSeries(t *testing.T) {
+	// A series pinned to the target from the start converges at `from`.
+	s := NewSeries("rate")
+	s.Add(0, 100)
+	got, ok := ConvergenceTime(s, 0, 1000, 100, 0.05, 500)
+	if !ok || got != 0 {
+		t.Fatalf("constant series: got %v,%v, want 0,true", got, ok)
+	}
+}
+
+func TestConvergenceTimeOscillatingNeverSettles(t *testing.T) {
+	// A square wave that keeps leaving the band never converges, no matter
+	// how often it re-enters.
+	s := NewSeries("rate")
+	for i := 0; i < 10; i++ {
+		s.Add(sim100(2*i), 100)
+		s.Add(sim100(2*i+1), 200)
+	}
+	if _, ok := ConvergenceTime(s, 0, sim100(20), 100, 0.05, 100); ok {
+		t.Fatal("oscillating series reported converged")
+	}
+}
+
+func TestConvergenceTimeOscillationInsideBand(t *testing.T) {
+	// Oscillation that stays inside the tolerance band is convergence from
+	// the first sample.
+	s := NewSeries("rate")
+	for i := 0; i < 10; i++ {
+		s.Add(sim100(2*i), 95)
+		s.Add(sim100(2*i+1), 105)
+	}
+	got, ok := ConvergenceTime(s, 0, sim100(20), 100, 0.10, 500)
+	if !ok || got != 0 {
+		t.Fatalf("in-band oscillation: got %v,%v, want 0,true", got, ok)
+	}
+}
+
+func TestConvergenceTimeHoldTooShort(t *testing.T) {
+	// Entering the band with less than `hold` left in the window is the
+	// vacuous convergence the hold parameter exists to reject.
+	s := NewSeries("rate")
+	s.Add(0, 0)
+	s.Add(900, 100)
+	if _, ok := ConvergenceTime(s, 0, 1000, 100, 0.05, 300); ok {
+		t.Fatal("late entry shorter than hold reported converged")
+	}
+	got, ok := ConvergenceTime(s, 0, 1300, 100, 0.05, 300)
+	if !ok || got != 900 {
+		t.Fatalf("with a long enough window: got %v,%v, want 900,true", got, ok)
+	}
+}
+
+func TestConvergenceTimeNegativeTarget(t *testing.T) {
+	// A negative target flips the band bounds; the helper must still
+	// detect convergence rather than produce an empty band.
+	s := NewSeries("rate")
+	s.Add(0, -100)
+	got, ok := ConvergenceTime(s, 0, 1000, -100, 0.05, 500)
+	if !ok || got != 0 {
+		t.Fatalf("negative target: got %v,%v, want 0,true", got, ok)
+	}
+}
+
+// sim100 spaces test samples 100 time-units apart.
+func sim100(i int) sim.Time { return sim.Time(i) * 100 }

@@ -64,6 +64,9 @@ type ATMConfig struct {
 	// directions, so data, forward RM and backward RM cells are all at
 	// risk) for failure testing. Zero disables injection.
 	TrunkLossRate float64
+	// Events is an optional transient schedule: mid-run trunk rate changes
+	// and loss onset, indexed by trunk. See TransientEvent.
+	Events []TransientEvent
 	// Trace, if non-nil, records rate changes, drops and fair-share ticks.
 	Trace *trace.Tracer
 	// Telemetry, if non-nil, receives the scenario's counters: every link,
@@ -192,6 +195,9 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		return nil, fmt.Errorf("scenario: TrunkRatesBPS has %d entries for %d trunks",
 			len(cfg.TrunkRatesBPS), cfg.Switches-1)
 	}
+	if err := validateEvents(cfg.Events, cfg.Switches-1); err != nil {
+		return nil, err
+	}
 
 	sched, err := sim.ParseScheduler(string(cfg.Scheduler))
 	if err != nil {
@@ -220,11 +226,13 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		rl := atmnet.NewLink(fmt.Sprintf("R%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k])
 		fl.Instrument(cfg.Telemetry)
 		rl.Instrument(cfg.Telemetry)
+		// Seeds are assigned unconditionally so a TransientLoss event that
+		// turns loss on mid-run draws from a deterministic stream.
+		fl.LossSeed = uint64(2*k + 1)
+		rl.LossSeed = uint64(2*k + 2)
 		if cfg.TrunkLossRate > 0 {
 			fl.LossRate = cfg.TrunkLossRate
-			fl.LossSeed = uint64(2*k + 1)
 			rl.LossRate = cfg.TrunkLossRate
-			rl.LossSeed = uint64(2*k + 2)
 		}
 		var alg switchalg.Algorithm
 		if cfg.Alg != nil {
@@ -255,6 +263,14 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			n.FairShare = append(n.FairShare, nil)
 		}
 		n.fairShareFns = append(n.fairShareFns, fairShareGetter(alg))
+	}
+
+	if len(cfg.Events) > 0 {
+		revLinks := make([]*atmnet.Link, len(revPorts))
+		for k, p := range revPorts {
+			revLinks[k] = p.Link
+		}
+		scheduleEvents(e, cfg.Events, n.trunks, revLinks, cfg.Trace)
 	}
 
 	// Sessions: source → access → S_entry … S_exit → access → dest, with
@@ -367,6 +383,13 @@ func (n *ATMNet) trunkRateBPS(k int) float64 {
 	}
 	return n.Config.TrunkRateBPS
 }
+
+// TrunkQueueLen returns trunk k's current output-queue length.
+func (n *ATMNet) TrunkQueueLen(k int) int { return n.trunks[k].QueueLen() }
+
+// TrunkCapacityCPS returns trunk k's configured line rate in cells/s (the
+// build-time rate; transient events change the live rate, not this value).
+func (n *ATMNet) TrunkCapacityCPS(k int) float64 { return atm.CPS(n.trunkRateBPS(k)) }
 
 // TrunkUtilization returns trunk k's lifetime utilization: cells sent
 // divided by the cells the line could have carried.

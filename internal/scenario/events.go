@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/atmnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TransientKind names a scheduled mid-run perturbation.
+type TransientKind string
+
+const (
+	// TransientRate changes a trunk's line rate (Value is the new rate in
+	// bits/s, applied to both directions). It models capacity cuts and
+	// restorations — the "graceful behavior under transients" stress of the
+	// paper's Section 5 discussion.
+	TransientRate TransientKind = "rate"
+	// TransientLoss sets a trunk's random cell-loss rate (Value in [0,1),
+	// both directions), turning a clean line noisy mid-run.
+	TransientLoss TransientKind = "loss"
+)
+
+// TransientEvent is one scheduled perturbation of a running scenario. For
+// linear scenarios Index is the trunk index (0..Switches−2); for graph
+// scenarios it is the edge index. Events apply to both directions of the
+// trunk, matching the TrunkLossRate semantics.
+type TransientEvent struct {
+	At    sim.Duration
+	Kind  TransientKind
+	Index int
+	// Value is the new rate in bits/s (TransientRate) or the loss fraction
+	// in [0,1) (TransientLoss).
+	Value float64
+}
+
+// validateEvents checks a schedule against the number of trunks/edges.
+func validateEvents(events []TransientEvent, nLinks int) error {
+	for i, ev := range events {
+		if ev.At < 0 {
+			return fmt.Errorf("scenario: event %d at negative time %v", i, ev.At)
+		}
+		if ev.Index < 0 || ev.Index >= nLinks {
+			return fmt.Errorf("scenario: event %d targets link %d of %d", i, ev.Index, nLinks)
+		}
+		switch ev.Kind {
+		case TransientRate:
+			if ev.Value <= 0 {
+				return fmt.Errorf("scenario: event %d sets non-positive rate %v", i, ev.Value)
+			}
+		case TransientLoss:
+			if ev.Value < 0 || ev.Value >= 1 {
+				return fmt.Errorf("scenario: event %d sets loss %v outside [0,1)", i, ev.Value)
+			}
+		default:
+			return fmt.Errorf("scenario: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// scheduleEvents installs the transient schedule on the engine. fwd and rev
+// are the two directions of each trunk (rev may contain nils for edges with
+// no reverse link).
+func scheduleEvents(e *sim.Engine, events []TransientEvent, fwd, rev []*atmnet.Link, tr *trace.Tracer) {
+	for _, ev := range events {
+		ev := ev
+		links := []*atmnet.Link{fwd[ev.Index]}
+		if rev != nil && rev[ev.Index] != nil {
+			links = append(links, rev[ev.Index])
+		}
+		e.At(sim.Time(ev.At), func(en *sim.Engine) {
+			for _, l := range links {
+				switch ev.Kind {
+				case TransientRate:
+					l.RateCPS = atm.CPS(ev.Value)
+				case TransientLoss:
+					l.LossRate = ev.Value
+				}
+			}
+			if tr != nil {
+				tr.Emit(en.Now(), fwd[ev.Index].Name, "transient",
+					trace.S("kind", string(ev.Kind)), trace.F("value", ev.Value))
+			}
+		})
+	}
+}

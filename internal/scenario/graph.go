@@ -1,0 +1,488 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/atmnet"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/switchalg"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// GraphEdge is one full-duplex trunk of a general topology: two independent
+// unidirectional links U→V and V→U, each with the edge's line rate and
+// propagation delay.
+type GraphEdge struct {
+	U, V int
+	// RateBPS is the line rate in bits/s (0 falls back to the config's
+	// TrunkRateBPS default).
+	RateBPS float64
+	// Delay is the propagation delay (0 falls back to the config default).
+	Delay sim.Duration
+}
+
+// GraphSessionSpec declares one ABR session between two nodes of a general
+// topology. The route is the deterministic BFS shortest path from Src to
+// Dst (ties broken by edge declaration order), so a spec fully determines
+// the network.
+type GraphSessionSpec struct {
+	Name    string
+	Src     int
+	Dst     int
+	Pattern workload.Pattern
+	// Params overrides the end-system parameters; nil means the paper's
+	// defaults.
+	Params *atm.SourceParams
+}
+
+// GraphConfig describes an arbitrary-topology ATM network: Nodes switches
+// joined by full-duplex Edges. It generalizes the linear parking lot to the
+// fat-tree and Waxman/WAN-like meshes the scenario generator emits; the
+// data plane underneath (links, per-VC switch routing, RM turnaround) is
+// exactly the one the paper's configurations run on.
+type GraphConfig struct {
+	Nodes int
+	Edges []GraphEdge
+	// TrunkRateBPS is the default edge rate in bits/s (default 150 Mb/s).
+	TrunkRateBPS float64
+	// TrunkDelay is the default edge propagation delay (default 5 µs).
+	TrunkDelay sim.Duration
+	// AccessRateBPS is the end-system access rate (default: the fastest
+	// edge rate, so access links never become the shared bottleneck).
+	AccessRateBPS float64
+	// AccessDelay is the access-link propagation delay (default 1 µs).
+	AccessDelay sim.Duration
+	// Alg builds the rate-control algorithm for every output port that
+	// carries some session's forward path; nil runs plain FIFO switches.
+	Alg switchalg.Factory
+	// SampleEvery is the series sampling period (default 1 ms).
+	SampleEvery sim.Duration
+	// Duration is a series pre-sizing hint, as in ATMConfig.
+	Duration sim.Duration
+	// TrunkLossRate injects random cell loss on every edge (both
+	// directions). Zero disables injection.
+	TrunkLossRate float64
+	// Events is an optional transient schedule, indexed by edge.
+	Events []TransientEvent
+	// Trace, if non-nil, records drops, rate changes and transients.
+	Trace *trace.Tracer
+	// Telemetry, if non-nil, receives the scenario's counters.
+	Telemetry *telemetry.Registry
+	Sessions  []GraphSessionSpec
+	// Scheduler selects the engine's calendar backend; empty is the default.
+	Scheduler sim.SchedulerKind
+}
+
+func (c *GraphConfig) setDefaults() {
+	if c.TrunkRateBPS == 0 {
+		c.TrunkRateBPS = 150e6
+	}
+	if c.TrunkDelay == 0 {
+		c.TrunkDelay = 5 * sim.Microsecond
+	}
+	if c.AccessRateBPS == 0 {
+		c.AccessRateBPS = c.TrunkRateBPS
+		for _, ed := range c.Edges {
+			if ed.RateBPS > c.AccessRateBPS {
+				c.AccessRateBPS = ed.RateBPS
+			}
+		}
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = sim.Microsecond
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = sim.Millisecond
+	}
+}
+
+// EdgeRateBPS returns edge k's line rate after defaulting.
+func (c *GraphConfig) EdgeRateBPS(k int) float64 {
+	if c.Edges[k].RateBPS > 0 {
+		return c.Edges[k].RateBPS
+	}
+	return c.TrunkRateBPS
+}
+
+// EdgeDelay returns edge k's propagation delay after defaulting.
+func (c *GraphConfig) EdgeDelay(k int) sim.Duration {
+	if c.Edges[k].Delay > 0 {
+		return c.Edges[k].Delay
+	}
+	return c.TrunkDelay
+}
+
+// GraphNet is a built, runnable general-topology scenario. Directed link
+// 2k is edge k's U→V direction and 2k+1 its V→U direction.
+type GraphNet struct {
+	Engine   *sim.Engine
+	Config   GraphConfig
+	Sources  []*atm.Source
+	Dests    []*atm.Dest
+	Switches []*atmnet.Switch
+
+	// Paths[i] is session i's route as node indices (Src..Dst inclusive).
+	Paths [][]int
+	// LinkPaths[i] is session i's route as directed-link indices — the
+	// session set of the max-min oracle problem.
+	LinkPaths [][]int
+
+	// ACR[i] is session i's allowed cell rate over time (cells/s).
+	ACR []*metrics.Series
+	// Goodput[i] is session i's delivered data rate (cells/s), sampled.
+	Goodput []*metrics.Series
+	// LinkQueue[l] is directed link l's output queue (cells), sampled only
+	// for links on some forward path (nil otherwise, to keep sampling cost
+	// proportional to the used network).
+	LinkQueue []*metrics.Series
+	// FairShare[l] is directed link l's algorithm estimate, or nil.
+	FairShare []*metrics.Series
+	// PeakLinkQueue[l] is the exact maximum queue seen on directed link l.
+	PeakLinkQueue []int
+
+	links         []*atmnet.Link // directed links, 2 per edge
+	fairShareFns  []func() float64
+	lastDelivered []int64
+	lastSample    sim.Time
+	telFlush      engineFlush
+}
+
+// bfsPath returns the shortest Src→Dst path as node indices, using the
+// deterministic breadth-first order induced by node and edge declaration
+// order. ok is false when Dst is unreachable.
+func bfsPath(nodes int, adj [][]int, edges []GraphEdge, src, dst int) ([]int, bool) {
+	if src == dst {
+		return nil, false
+	}
+	prev := make([]int, nodes)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && prev[dst] == -1 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, k := range adj[u] {
+			v := edges[k].U + edges[k].V - u
+			if prev[v] == -1 {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return nil, false
+	}
+	var rev []int
+	for v := dst; v != src; v = prev[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// BuildGraph wires a general-topology scenario. Sources are started; call
+// Run to execute.
+func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
+	cfg.setDefaults()
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if len(cfg.Edges) == 0 {
+		return nil, fmt.Errorf("scenario: no edges")
+	}
+	if len(cfg.Sessions) == 0 {
+		return nil, fmt.Errorf("scenario: no sessions")
+	}
+	adj := make([][]int, cfg.Nodes)
+	for k, ed := range cfg.Edges {
+		if ed.U < 0 || ed.U >= cfg.Nodes || ed.V < 0 || ed.V >= cfg.Nodes || ed.U == ed.V {
+			return nil, fmt.Errorf("scenario: edge %d joins invalid nodes %d–%d", k, ed.U, ed.V)
+		}
+		adj[ed.U] = append(adj[ed.U], k)
+		adj[ed.V] = append(adj[ed.V], k)
+	}
+	if err := validateEvents(cfg.Events, len(cfg.Edges)); err != nil {
+		return nil, err
+	}
+
+	sched, err := sim.ParseScheduler(string(cfg.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine(sim.WithScheduler(sched))
+	n := &GraphNet{Engine: e, Config: cfg}
+	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
+
+	// Route every session first: only directed links on some forward path
+	// host an algorithm instance, so an unused direction stays a plain
+	// FIFO exactly like the linear builder's reverse trunks.
+	dirLink := func(from, to int, k int) int {
+		if cfg.Edges[k].U == from && cfg.Edges[k].V == to {
+			return 2 * k
+		}
+		return 2*k + 1
+	}
+	edgeBetween := func(u, v int) int {
+		for _, k := range adj[u] {
+			if cfg.Edges[k].U+cfg.Edges[k].V-u == v {
+				return k
+			}
+		}
+		return -1
+	}
+	usedFwd := make([]bool, 2*len(cfg.Edges))
+	for i, s := range cfg.Sessions {
+		if s.Src < 0 || s.Src >= cfg.Nodes || s.Dst < 0 || s.Dst >= cfg.Nodes || s.Src == s.Dst {
+			return nil, fmt.Errorf("scenario: session %d has invalid endpoints %d→%d", i, s.Src, s.Dst)
+		}
+		path, ok := bfsPath(cfg.Nodes, adj, cfg.Edges, s.Src, s.Dst)
+		if !ok {
+			return nil, fmt.Errorf("scenario: session %d: node %d unreachable from %d", i, s.Dst, s.Src)
+		}
+		var linkPath []int
+		for h := 0; h+1 < len(path); h++ {
+			l := dirLink(path[h], path[h+1], edgeBetween(path[h], path[h+1]))
+			usedFwd[l] = true
+			linkPath = append(linkPath, l)
+		}
+		n.Paths = append(n.Paths, path)
+		n.LinkPaths = append(n.LinkPaths, linkPath)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		sw := atmnet.NewSwitch(fmt.Sprintf("N%d", i))
+		sw.Instrument(cfg.Telemetry)
+		n.Switches = append(n.Switches, sw)
+	}
+
+	// Directed links and their ports. Both directions always exist (the
+	// reverse direction carries backward RM cells even when no session is
+	// routed over it), but only used forward directions get an algorithm
+	// and recorded series.
+	ports := make([]*atmnet.Port, 2*len(cfg.Edges))
+	n.links = make([]*atmnet.Link, 2*len(cfg.Edges))
+	n.LinkQueue = make([]*metrics.Series, 2*len(cfg.Edges))
+	n.FairShare = make([]*metrics.Series, 2*len(cfg.Edges))
+	n.PeakLinkQueue = make([]int, 2*len(cfg.Edges))
+	n.fairShareFns = make([]func() float64, 2*len(cfg.Edges))
+	fwdHalf := make([]*atmnet.Link, len(cfg.Edges))
+	revHalf := make([]*atmnet.Link, len(cfg.Edges))
+	for k, ed := range cfg.Edges {
+		cps := atm.CPS(cfg.EdgeRateBPS(k))
+		delay := cfg.EdgeDelay(k)
+		for dir := 0; dir < 2; dir++ {
+			from, to := ed.U, ed.V
+			if dir == 1 {
+				from, to = ed.V, ed.U
+			}
+			l := atmnet.NewLink(fmt.Sprintf("L%d.%d-%d", k, from, to), cps, delay, n.Switches[to])
+			l.Instrument(cfg.Telemetry)
+			l.LossSeed = uint64(2*k + dir + 1)
+			if cfg.TrunkLossRate > 0 {
+				l.LossRate = cfg.TrunkLossRate
+			}
+			idx := 2*k + dir
+			var alg switchalg.Algorithm
+			if usedFwd[idx] && cfg.Alg != nil {
+				alg = cfg.Alg()
+			}
+			instrumentAlg(alg, cfg.Telemetry)
+			ports[idx] = n.Switches[from].AddPort(e, l, alg)
+			n.links[idx] = l
+			if usedFwd[idx] {
+				n.LinkQueue[idx] = metrics.AcquireSeries(fmt.Sprintf("queue[%s]", l.Name), hint)
+				idx := idx
+				l.OnQueue = func(_ sim.Time, q int) {
+					if q > n.PeakLinkQueue[idx] {
+						n.PeakLinkQueue[idx] = q
+					}
+				}
+				if cfg.Trace != nil {
+					name := l.Name
+					l.OnDrop = func(now sim.Time, c atm.Cell) {
+						cfg.Trace.Emit(now, name, "drop",
+							trace.I("vc", int64(c.VC)), trace.S("cell", c.Kind.String()))
+					}
+				}
+				if alg != nil {
+					n.FairShare[idx] = metrics.AcquireSeries(fmt.Sprintf("fairshare[%s]", l.Name), hint)
+				}
+				n.fairShareFns[idx] = fairShareGetter(alg)
+			}
+			if dir == 0 {
+				fwdHalf[k] = l
+			} else {
+				revHalf[k] = l
+			}
+		}
+	}
+	if len(cfg.Events) > 0 {
+		scheduleEvents(e, cfg.Events, fwdHalf, revHalf, cfg.Trace)
+	}
+
+	// Sessions: source → access → N_src … N_dst → access → dest, with the
+	// reverse node path carrying backward RM.
+	accessCPS := atm.CPS(cfg.AccessRateBPS)
+	for i, spec := range cfg.Sessions {
+		vc := atm.VCID(i + 1)
+		params := atm.DefaultSourceParams()
+		if spec.Params != nil {
+			params = *spec.Params
+		}
+		path := n.Paths[i]
+		srcSw, dstSw := n.Switches[spec.Src], n.Switches[spec.Dst]
+
+		toDest := atmnet.NewLink(fmt.Sprintf("out%d", i), accessCPS, cfg.AccessDelay, nil)
+		toDest.Instrument(cfg.Telemetry)
+		var egressAlg switchalg.Algorithm
+		if cfg.Alg != nil {
+			egressAlg = cfg.Alg()
+		}
+		instrumentAlg(egressAlg, cfg.Telemetry)
+		egressPort := dstSw.AddPort(e, toDest, egressAlg)
+		fromDest := atmnet.NewLink(fmt.Sprintf("destrev%d", i), accessCPS, cfg.AccessDelay, dstSw)
+		fromDest.Instrument(cfg.Telemetry)
+		dest := atm.NewDest(vc, fromDest)
+		toDest.Dst = dest
+
+		toEntry := atmnet.NewLink(fmt.Sprintf("in%d", i), accessCPS, cfg.AccessDelay, srcSw)
+		toEntry.Instrument(cfg.Telemetry)
+		src := atm.NewSource(vc, params, spec.Pattern, toEntry)
+		src.Instrument(cfg.Telemetry)
+		toSource := atmnet.NewLink(fmt.Sprintf("srcrev%d", i), accessCPS, cfg.AccessDelay, src)
+		toSource.Instrument(cfg.Telemetry)
+		ingressRevPort := srcSw.AddPort(e, toSource, nil)
+
+		// Routes: at hop j, forward exits towards hop j+1 (or the egress
+		// access link at the last hop); backward RM exits towards hop j−1
+		// (or the source's access link at the first hop).
+		for j, node := range path {
+			var fwd, bwd *atmnet.Port
+			if j+1 < len(path) {
+				fwd = ports[dirLink(node, path[j+1], edgeBetween(node, path[j+1]))]
+			} else {
+				fwd = egressPort
+			}
+			if j > 0 {
+				bwd = ports[dirLink(node, path[j-1], edgeBetween(node, path[j-1]))]
+			} else {
+				bwd = ingressRevPort
+			}
+			n.Switches[node].Route(vc, fwd, bwd)
+		}
+
+		acr := metrics.AcquireSeries(fmt.Sprintf("ACR[%s]", spec.Name), hint)
+		if cfg.Trace != nil {
+			name := spec.Name
+			src.OnRateChange = func(now sim.Time, r float64) {
+				acr.Add(now, r)
+				cfg.Trace.Emit(now, name, "rate", trace.F("acr", r))
+			}
+		} else {
+			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
+		}
+		n.ACR = append(n.ACR, acr)
+		n.Goodput = append(n.Goodput, metrics.AcquireSeries(fmt.Sprintf("goodput[%s]", spec.Name), hint))
+		n.Sources = append(n.Sources, src)
+		n.Dests = append(n.Dests, dest)
+		n.lastDelivered = append(n.lastDelivered, 0)
+
+		if err := src.Start(e); err != nil {
+			return nil, fmt.Errorf("scenario: session %d: %w", i, err)
+		}
+	}
+
+	e.Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(en.Now()) })
+	return n, nil
+}
+
+// sample records one point on every active sampled series.
+func (n *GraphNet) sample(now sim.Time) {
+	dt := now.Sub(n.lastSample).Seconds()
+	n.lastSample = now
+	for i, d := range n.Dests {
+		cur := d.DataCells()
+		if dt > 0 {
+			n.Goodput[i].Add(now, float64(cur-n.lastDelivered[i])/dt)
+		}
+		n.lastDelivered[i] = cur
+	}
+	for l, s := range n.LinkQueue {
+		if s == nil {
+			continue
+		}
+		s.Add(now, float64(n.links[l].QueueLen()))
+		if fn := n.fairShareFns[l]; fn != nil {
+			n.FairShare[l].Add(now, fn())
+		}
+	}
+}
+
+// Run executes the scenario for d of simulated time (cumulative across
+// calls).
+func (n *GraphNet) Run(d sim.Duration) {
+	n.Engine.RunUntil(n.Engine.Now().Add(d))
+	n.telFlush.flush(n.Config.Telemetry, n.Engine)
+}
+
+// Release returns every recorded series' storage to the metrics pool. The
+// network is unusable afterwards.
+func (n *GraphNet) Release() {
+	for _, s := range n.ACR {
+		s.Release()
+	}
+	for _, s := range n.Goodput {
+		s.Release()
+	}
+	for _, s := range n.LinkQueue {
+		if s != nil {
+			s.Release()
+		}
+	}
+	for _, s := range n.FairShare {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
+// LinkQueueLen returns directed link l's current queue length.
+func (n *GraphNet) LinkQueueLen(l int) int { return n.links[l].QueueLen() }
+
+// LinkSent returns directed link l's lifetime transmitted cell count.
+func (n *GraphNet) LinkSent(l int) int64 { return n.links[l].Sent() }
+
+// LinkCapacityCPS returns directed link l's configured line rate in
+// cells/s (the build-time rate; transient events change the live rate but
+// not this oracle input).
+func (n *GraphNet) LinkCapacityCPS(l int) float64 {
+	return atm.CPS(n.Config.EdgeRateBPS(l / 2))
+}
+
+// MeanGoodputCPS returns session i's lifetime mean delivered rate.
+func (n *GraphNet) MeanGoodputCPS(i int) float64 {
+	elapsed := n.Engine.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.Dests[i].DataCells()) / elapsed
+}
+
+// MaxMinOracle returns the max-min fair rates (cells/s) over the directed
+// trunk links, using each session's routed link path.
+func (n *GraphNet) MaxMinOracle() ([]float64, error) {
+	caps := make([]float64, len(n.links))
+	for l := range caps {
+		caps[l] = n.LinkCapacityCPS(l)
+	}
+	return metrics.MaxMinSolve(metrics.MaxMinProblem{Capacity: caps, Sessions: n.LinkPaths})
+}

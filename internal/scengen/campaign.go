@@ -1,0 +1,173 @@
+package scengen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/simconfig"
+)
+
+// CampaignConfig sizes one fuzzing campaign.
+type CampaignConfig struct {
+	// Families to draw from; nil means all of them.
+	Families []Family
+	// N is the number of scenarios per family.
+	N int
+	// Workers bounds concurrency (0: GOMAXPROCS). The report is
+	// bit-identical for every worker count: seeds derive from (family,
+	// index) and findings land at their job's slot.
+	Workers int
+	// Scheduler is the engine backend scenarios run on (default heap).
+	Scheduler sim.SchedulerKind
+	// CrossCheck additionally runs every scenario on the other scheduler
+	// backend and reports a "determinism" violation if any observable
+	// counter differs — the two calendars promise bit-identical order.
+	CrossCheck bool
+	// Minimize shrinks each failing scenario to a minimal reproducer
+	// (costly: the minimizer re-runs candidates many times).
+	Minimize bool
+	// Hook observes job progress (optional, concurrency-safe).
+	Hook exp.Hook
+}
+
+// Finding is one scenario that violated an invariant.
+type Finding struct {
+	Family Family
+	Index  int
+	Seed   uint64
+	// Text is the scenario's canonical simconfig text.
+	Text string
+	// Violations the run triggered, in Check's deterministic order.
+	Violations []Violation
+	// Minimized is the shrunk reproducer's canonical text (empty when
+	// minimization was off or could not shrink anything).
+	Minimized string
+}
+
+// CampaignReport is a campaign's deterministic outcome.
+type CampaignReport struct {
+	Scenarios int
+	// Findings in (family, index) order regardless of worker scheduling.
+	Findings []Finding
+	Stats    runner.Stats
+}
+
+// RunCampaign generates and checks cfg.N scenarios for every family, in
+// parallel, deterministically.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("scengen: campaign needs N > 0, got %d", cfg.N)
+	}
+	families := cfg.Families
+	if len(families) == 0 {
+		families = Families()
+	}
+	sched := cfg.Scheduler
+	if sched == sim.SchedulerDefault {
+		sched = sim.SchedulerHeap
+	}
+
+	// One fleet job per scenario. Findings are written into per-job slots
+	// (one writer each), then compacted in order after the fleet drains.
+	slots := make([]*Finding, len(families)*cfg.N)
+	var jobs []runner.Job
+	for fi, fam := range families {
+		for i := 0; i < cfg.N; i++ {
+			fam, i, slot := fam, i, &slots[fi*cfg.N+i]
+			jobs = append(jobs, runner.Job{
+				Def: exp.Definition{
+					ID:    "fuzz/" + string(fam),
+					Title: "scenario fuzz: " + string(fam),
+					Run: func(o exp.Options) (*exp.Result, error) {
+						f, err := runOne(fam, i, o.Seed, sched, cfg.CrossCheck, cfg.Minimize)
+						if err != nil {
+							return nil, err
+						}
+						*slot = f
+						res := &exp.Result{ID: "fuzz/" + string(fam), Summary: map[string]float64{}}
+						if f != nil {
+							res.Summary["violations"] = float64(len(f.Violations))
+						}
+						return res, nil
+					},
+				},
+				SweepIndex: i,
+				Name:       fmt.Sprintf("fuzz/%s[%d]", fam, i),
+			})
+		}
+	}
+
+	fleet := &runner.Fleet{Workers: cfg.Workers, Hook: cfg.Hook}
+	results, stats := fleet.Run(jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("scengen: %s: %w", r.Job.Name, r.Err)
+		}
+	}
+
+	rep := &CampaignReport{Scenarios: len(jobs), Stats: stats}
+	for _, f := range slots {
+		if f != nil {
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	return rep, nil
+}
+
+// runOne generates, runs and checks scenario (family, index); seed is the
+// fleet-derived seed (equal to DeriveSeed(fam, index)). A nil Finding means
+// the scenario held every invariant.
+func runOne(fam Family, index int, seed uint64, sched sim.SchedulerKind, crossCheck, minimize bool) (*Finding, error) {
+	spec, text, err := Generate(fam, seed)
+	if err != nil {
+		return nil, err
+	}
+	o, err := RunSpec(spec, sched)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s[%d] failed to run: %w\n%s", fam, index, err, text)
+	}
+	violations := Check(o)
+
+	if crossCheck {
+		other := sim.SchedulerWheel
+		if sched == sim.SchedulerWheel {
+			other = sim.SchedulerHeap
+		}
+		o2, err := RunSpec(spec, other)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s[%d] failed on %s: %w", fam, index, other, err)
+		}
+		if o2.Fingerprint != o.Fingerprint {
+			violations = append(violations, Violation{"determinism", fmt.Sprintf(
+				"%s and %s runs disagree:\n  %s\nvs\n  %s", sched, other, o.Fingerprint, o2.Fingerprint)})
+		}
+	}
+
+	if len(violations) == 0 {
+		return nil, nil
+	}
+	f := &Finding{Family: fam, Index: index, Seed: seed, Text: text, Violations: violations}
+	if minimize && violations[0].Name != "determinism" {
+		min := Minimize(spec, violations[0].Name, sched)
+		if mt, err := simconfig.Emit(min); err == nil && mt != text {
+			f.Minimized = mt
+		}
+	}
+	return f, nil
+}
+
+// Summary renders a campaign report as stable, human-readable text.
+func (r *CampaignReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios, %d findings\n", r.Scenarios, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s[%d] seed=%d:\n", f.Family, f.Index, f.Seed)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package scengen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one invariant failure in one run.
+type Violation struct {
+	// Name identifies the invariant ("counting", "queue-bound", ...). The
+	// minimizer preserves it: a shrunk scenario must fail the same way.
+	Name string
+	// Detail says what was observed vs. allowed.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// fairnessAlgs are the algorithms the fairness-envelope, starvation and
+// settling invariants apply to: those designed to converge to max-min
+// shares. Queue-threshold algorithms (EPRCA, APRC) bound queues but make no
+// max-min promise, and "none" makes no promise at all.
+var fairnessAlgs = map[string]bool{
+	"phantom":    true,
+	"phantom-ci": true,
+	"exact":      true,
+}
+
+// Check evaluates every applicable invariant against a finished run.
+//
+// Unconditional invariants (any scenario):
+//
+//   - counting: a destination cannot receive more data cells than its
+//     source sent, and a source cannot see more backward RMs than the
+//     destination turned around.
+//   - queue-bound: no shared link's queue may exceed a burst allowance that
+//     scales with the link's cell rate and its session count. Flow control
+//     exists to keep queues bounded; an unbounded queue is the paper's
+//     failure mode for uncontrolled traffic.
+//
+// Gated invariants (only when the scenario's shape makes them sound; the
+// gates are facts recorded in the Outcome, not guesses):
+//
+//   - conservation + drain: when every session stops ≥ StopMargin before
+//     the end and nothing is lost (no loss rate, no transient events),
+//     every cell put on the wire must have arrived and every queue must
+//     have drained by the end.
+//   - maxmin-envelope / starvation: for event-free lossless runs of a
+//     fairness algorithm, each session active through the tail must get at
+//     least starveFrac and at most envelopeFactor of its max-min share.
+//   - settling: for all-greedy event-free lossless fairness runs, every
+//     ACR must settle into a band around its own tail average (rates stop
+//     oscillating once demand is constant).
+//   - utilization: for event-free lossless all-greedy runs, achieved
+//     aggregate goodput must reach half the max-min optimum (no algorithm
+//     should waste a statically-loaded network).
+func Check(o *Outcome) []Violation {
+	var out []Violation
+
+	// counting — per session, receive ≤ send on both directions.
+	for i := range o.Sent {
+		if o.Data[i]+o.RM[i] > o.Sent[i] {
+			out = append(out, Violation{"counting", fmt.Sprintf(
+				"session %s: delivered %d data + %d RM > %d sent",
+				o.Names[i], o.Data[i], o.RM[i], o.Sent[i])})
+		}
+		if o.BackRM[i] > o.RM[i] {
+			out = append(out, Violation{"counting", fmt.Sprintf(
+				"session %s: %d backward RMs > %d RMs delivered",
+				o.Names[i], o.BackRM[i], o.RM[i])})
+		}
+	}
+
+	// queue-bound — peak queue ≤ burst allowance.
+	sessionsOn := make([]int, len(o.LinkCaps))
+	for _, path := range o.Links {
+		for _, l := range path {
+			sessionsOn[l]++
+		}
+	}
+	for l, peak := range o.PeakQueue {
+		if sessionsOn[l] == 0 {
+			continue
+		}
+		bound := queueBound(o.LinkCaps[l], sessionsOn[l])
+		if peak > bound {
+			out = append(out, Violation{"queue-bound", fmt.Sprintf(
+				"link %d: peak queue %d cells > bound %d (cap %.0f cps, %d sessions)",
+				l, peak, bound, o.LinkCaps[l], sessionsOn[l])})
+		}
+	}
+
+	clean := !o.HasLoss && !o.HasEvents
+	if o.AllStopped && clean {
+		// conservation — everything sent arrived...
+		for i := range o.Sent {
+			if o.Data[i]+o.RM[i] != o.Sent[i] {
+				out = append(out, Violation{"conservation", fmt.Sprintf(
+					"session %s: sent %d but delivered %d data + %d RM after full drain window",
+					o.Names[i], o.Sent[i], o.Data[i], o.RM[i])})
+			}
+			if o.BackRM[i] != o.RM[i] {
+				out = append(out, Violation{"conservation", fmt.Sprintf(
+					"session %s: %d RMs delivered but %d returned after full drain window",
+					o.Names[i], o.RM[i], o.BackRM[i])})
+			}
+		}
+		// ...and drain — no cell still queued at the end.
+		for l, q := range o.EndQueue {
+			if q > 0 {
+				out = append(out, Violation{"drain", fmt.Sprintf(
+					"link %d: %d cells still queued %v after all sessions stopped",
+					l, q, StopMargin)})
+			}
+		}
+	}
+
+	if clean && fairnessAlgs[o.AlgName] && o.Oracle != nil && o.OracleActive != nil {
+		for i := range o.TailGoodput {
+			if !o.ActiveTail[i] || o.Oracle[i] < minOracleCPS {
+				continue
+			}
+			// Ceiling: the share if only the tail-active sessions compete
+			// (idle neighbors legitimately cede their bandwidth). Floor:
+			// a sliver of the everyone-competing share.
+			if o.TailGoodput[i] > o.OracleActive[i]*envelopeFactor+envelopeSlackCPS {
+				out = append(out, Violation{"maxmin-envelope", fmt.Sprintf(
+					"session %s: tail goodput %.0f cps > %.2f× active-session max-min share %.0f",
+					o.Names[i], o.TailGoodput[i], envelopeFactor, o.OracleActive[i])})
+			}
+			if o.TailGoodput[i] < o.Oracle[i]*starveFrac {
+				out = append(out, Violation{"starvation", fmt.Sprintf(
+					"session %s: tail goodput %.0f cps < %.0f%% of max-min share %.0f",
+					o.Names[i], o.TailGoodput[i], 100*starveFrac, o.Oracle[i])})
+			}
+		}
+		if o.AllGreedy {
+			for i := range o.SettleOK {
+				if !o.SettleOK[i] {
+					out = append(out, Violation{"settling", fmt.Sprintf(
+						"session %s: ACR never held within ±%.0f%% of its tail average for %v",
+						o.Names[i], 100*settleTol, settleHold)})
+				}
+			}
+		}
+	}
+
+	if o.AllGreedy && clean && o.Oracle != nil {
+		var want, got float64
+		for i := range o.MeanGoodput {
+			want += o.Oracle[i]
+			got += o.MeanGoodput[i]
+		}
+		if want > 0 && got < utilizationFrac*want {
+			out = append(out, Violation{"utilization", fmt.Sprintf(
+				"aggregate goodput %.0f cps < %.0f%% of the %.0f cps max-min optimum",
+				got, 100*utilizationFrac, want)})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+const (
+	// envelopeFactor/starveFrac bracket the fair share loosely: the tail
+	// window averages over transient overshoot, but on/off cross traffic
+	// lets an active session legitimately exceed its static share while
+	// others are off, so only sessions active through the whole tail are
+	// checked and the ceiling stays generous.
+	envelopeFactor = 1.5
+	// envelopeSlackCPS absorbs sampling quantization for tiny shares.
+	envelopeSlackCPS = 2000
+	starveFrac       = 0.10
+	// minOracleCPS skips fairness checks for shares so small the tail
+	// window carries too few cells to measure them.
+	minOracleCPS = 1000
+	// utilizationFrac is deliberately weak — half the optimum — so only
+	// gross capacity waste (a stuck allocator) trips it, not slow ramps.
+	utilizationFrac = 0.5
+)
+
+// queueBound is the burst allowance for a link: 100 ms of line rate (the
+// paper's queues under Phantom stay far below this) plus a fixed floor and
+// a per-session term for simultaneous ramp-up bursts — a flash crowd of ~30
+// joiners peaks a few hundred cells per session above the line-rate term
+// before the first backward RMs beat them down. An uncontrolled greedy
+// overload blows through this bound within ~100 ms regardless.
+func queueBound(capCPS float64, sessions int) int {
+	return int(0.1*capCPS) + 1000 + 500*sessions
+}
+
+// HoldsFor reports whether the named violation appears in vs.
+func HoldsFor(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,306 @@
+package scengen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atm"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/simconfig"
+	"repro/internal/workload"
+)
+
+// Outcome is the invariant checker's view of one finished run: per-session
+// and per-link counters plus the activity facts the gated invariants need,
+// extracted uniformly from either the linear or the graph builder. Series
+// storage is returned to the metrics pool before RunSpec returns, so an
+// Outcome is safe to keep.
+type Outcome struct {
+	AlgName  string
+	Duration sim.Duration
+
+	// Per session, indexed like spec sessions.
+	Names []string
+	// Links[i] lists the shared-link indices session i crosses (trunk
+	// indices for linear specs, directed-link indices for graph specs).
+	Links [][]int
+	// Sent is data+RM cells the source put on the wire; BackRM is backward
+	// RM cells returned to it. Data/RM are the destination's counts.
+	Sent, BackRM, Data, RM []int64
+	// TailGoodput is the delivered rate (cells/s) over the tail window
+	// [TailFrom, Duration]; MeanGoodput is the lifetime mean.
+	TailGoodput, MeanGoodput []float64
+	// Oracle is the max-min fair rate per session over build-time
+	// capacities (nil when the solve failed). OracleActive re-solves with
+	// only the tail-active sessions competing — the fair-share ceiling for
+	// a session whose neighbors are idle through the tail — and is 0 for
+	// sessions not active through the tail.
+	Oracle       []float64
+	OracleActive []float64
+	// SettleACR[i] is when session i's ACR last entered and held the band
+	// around its own tail average (ok[i] false: it never settled).
+	SettleACR   []sim.Time
+	SettleOK    []bool
+	// ActiveTail[i]: the pattern is active through the whole tail window.
+	// StoppedEarly[i]: the pattern is idle forever from StopMargin before
+	// the end, so in-flight cells have drained by Duration.
+	ActiveTail, StoppedEarly []bool
+	Greedy                   []bool
+
+	// Per shared link (trunks or directed links).
+	LinkCaps  []float64 // cells/s, build-time
+	PeakQueue []int
+	EndQueue  []int
+	LinkUtil  []float64
+
+	TailFrom sim.Time
+
+	HasEvents     bool
+	HasRateEvents bool
+	HasLoss       bool
+	AllGreedy     bool
+	AllStopped    bool
+
+	Fired       uint64
+	Fingerprint string
+}
+
+// StopMargin is how long before the end every session must have stopped for
+// the drain/conservation invariants to apply: generous slack for queued
+// cells, in-flight propagation, and the final RM round trips.
+const StopMargin = 150 * sim.Millisecond
+
+// tailWindow returns the measurement tail for a run of length d: the last
+// quarter, but at least 50 ms (and never more than d).
+func tailWindow(d sim.Duration) sim.Duration {
+	t := d / 4
+	if t < 50*sim.Millisecond {
+		t = 50 * sim.Millisecond
+	}
+	if t > d {
+		t = d
+	}
+	return t
+}
+
+// activeThroughout reports whether p is active at every instant of [a, b],
+// by walking its change points from a.
+func activeThroughout(p workload.Pattern, a, b sim.Time) bool {
+	if !p.ActiveAt(a) {
+		return false
+	}
+	for t := a; t < b; {
+		next, ok := p.NextChange(t)
+		if !ok || next >= b {
+			return true
+		}
+		if !p.ActiveAt(next) {
+			return false
+		}
+		t = next
+	}
+	return true
+}
+
+// stoppedForever reports whether p is idle at t and never becomes active
+// again.
+func stoppedForever(p workload.Pattern, t sim.Time) bool {
+	if p.ActiveAt(t) {
+		return false
+	}
+	for {
+		next, ok := p.NextChange(t)
+		if !ok {
+			return true
+		}
+		if p.ActiveAt(next) {
+			return false
+		}
+		t = next
+	}
+}
+
+// RunSpec builds and runs a parsed spec to its duration under the given
+// scheduler backend and extracts the Outcome. The caller owns spec and may
+// run it again (patterns are stateless observers; nothing is consumed).
+func RunSpec(spec *simconfig.Spec, sched sim.SchedulerKind) (*Outcome, error) {
+	o := &Outcome{
+		AlgName:  spec.AlgName,
+		Duration: spec.Duration,
+		TailFrom: sim.Time(spec.Duration - tailWindow(spec.Duration)),
+	}
+	stopBy := sim.Time(0)
+	if spec.Duration > StopMargin {
+		stopBy = sim.Time(spec.Duration - StopMargin)
+	}
+
+	type sessionView struct {
+		name    string
+		pattern workload.Pattern
+	}
+	var views []sessionView
+
+	if spec.Graph != nil {
+		cfg := *spec.Graph
+		cfg.Scheduler = sched
+		net, err := scenario.BuildGraph(cfg)
+		if err != nil {
+			return nil, err
+		}
+		net.Run(spec.Duration)
+		o.HasEvents = len(cfg.Events) > 0
+		o.HasLoss = cfg.TrunkLossRate > 0
+		for _, ev := range cfg.Events {
+			switch ev.Kind {
+			case scenario.TransientRate:
+				o.HasRateEvents = true
+			case scenario.TransientLoss:
+				o.HasLoss = true
+			}
+		}
+		o.Links = net.LinkPaths
+		nLinks := 2 * len(cfg.Edges)
+		for l := 0; l < nLinks; l++ {
+			o.LinkCaps = append(o.LinkCaps, net.LinkCapacityCPS(l))
+			o.PeakQueue = append(o.PeakQueue, net.PeakLinkQueue[l])
+			o.EndQueue = append(o.EndQueue, net.LinkQueueLen(l))
+			u := 0.0
+			if el := net.Engine.Now().Seconds(); el > 0 {
+				u = float64(net.LinkSent(l)) / (net.LinkCapacityCPS(l) * el)
+			}
+			o.LinkUtil = append(o.LinkUtil, u)
+		}
+		for i, s := range cfg.Sessions {
+			views = append(views, sessionView{s.Name, s.Pattern})
+			o.extractSession(net.Sources[i], net.Dests[i], net.Goodput[i], net.ACR[i], net.MeanGoodputCPS(i))
+		}
+		o.Fired = net.Engine.Fired()
+		net.Release()
+	} else {
+		cfg := spec.Config
+		cfg.Scheduler = sched
+		net, err := scenario.BuildATM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		net.Run(spec.Duration)
+		o.HasEvents = len(cfg.Events) > 0
+		o.HasLoss = cfg.TrunkLossRate > 0
+		for _, ev := range cfg.Events {
+			switch ev.Kind {
+			case scenario.TransientRate:
+				o.HasRateEvents = true
+			case scenario.TransientLoss:
+				o.HasLoss = true
+			}
+		}
+		nTrunks := cfg.Switches - 1
+		for k := 0; k < nTrunks; k++ {
+			o.LinkCaps = append(o.LinkCaps, net.TrunkCapacityCPS(k))
+			o.PeakQueue = append(o.PeakQueue, net.PeakTrunkQueue[k])
+			o.EndQueue = append(o.EndQueue, net.TrunkQueueLen(k))
+			o.LinkUtil = append(o.LinkUtil, net.TrunkUtilization(k))
+		}
+		for i, s := range cfg.Sessions {
+			var path []int
+			for k := s.Entry; k < s.Exit; k++ {
+				path = append(path, k)
+			}
+			o.Links = append(o.Links, path)
+			views = append(views, sessionView{s.Name, s.Pattern})
+			o.extractSession(net.Sources[i], net.Dests[i], net.Goodput[i], net.ACR[i], net.MeanGoodputCPS(i))
+		}
+		o.Fired = net.Engine.Fired()
+		net.Release()
+	}
+
+	o.AllGreedy, o.AllStopped = true, stopBy > 0
+	for _, v := range views {
+		o.Names = append(o.Names, v.name)
+		_, greedy := v.pattern.(workload.Greedy)
+		o.Greedy = append(o.Greedy, greedy)
+		if !greedy {
+			o.AllGreedy = false
+		}
+		o.ActiveTail = append(o.ActiveTail, activeThroughout(v.pattern, o.TailFrom, sim.Time(o.Duration)))
+		stopped := stopBy > 0 && stoppedForever(v.pattern, stopBy)
+		o.StoppedEarly = append(o.StoppedEarly, stopped)
+		if !stopped {
+			o.AllStopped = false
+		}
+	}
+	o.solveOracles()
+	o.Fingerprint = o.fingerprint()
+	return o, nil
+}
+
+// solveOracles computes the two max-min views over build-time link
+// capacities: all sessions competing, and only the tail-active ones.
+func (o *Outcome) solveOracles() {
+	if full, err := metrics.MaxMinSolve(metrics.MaxMinProblem{
+		Capacity: o.LinkCaps, Sessions: o.Links,
+	}); err == nil {
+		o.Oracle = full
+	}
+	var active [][]int
+	var idx []int
+	for i, on := range o.ActiveTail {
+		if on {
+			active = append(active, o.Links[i])
+			idx = append(idx, i)
+		}
+	}
+	o.OracleActive = make([]float64, len(o.Links))
+	if len(active) == 0 {
+		return
+	}
+	rates, err := metrics.MaxMinSolve(metrics.MaxMinProblem{
+		Capacity: o.LinkCaps, Sessions: active,
+	})
+	if err != nil {
+		o.OracleActive = nil
+		return
+	}
+	for j, i := range idx {
+		o.OracleActive[i] = rates[j]
+	}
+}
+
+// extractSession pulls one session's counters and tail statistics out of
+// the built network, while its series are still live. The ACR settling
+// check targets the session's own tail average — it asks "did the rate stop
+// moving", not "did it reach the oracle" (that is the envelope invariant).
+func (o *Outcome) extractSession(src *atm.Source, dst *atm.Dest, goodput, acr *metrics.Series, meanGoodput float64) {
+	o.Sent = append(o.Sent, src.CellsSent())
+	o.BackRM = append(o.BackRM, src.BackwardRMsSeen())
+	o.Data = append(o.Data, dst.DataCells())
+	o.RM = append(o.RM, dst.RMCells())
+	o.MeanGoodput = append(o.MeanGoodput, meanGoodput)
+	end := sim.Time(o.Duration)
+	o.TailGoodput = append(o.TailGoodput, goodput.TimeAvg(o.TailFrom, end))
+	target := acr.TimeAvg(o.TailFrom, end)
+	at, ok := metrics.ConvergenceTime(acr, 0, end, target, settleTol, settleHold)
+	o.SettleACR = append(o.SettleACR, at)
+	o.SettleOK = append(o.SettleOK, ok)
+}
+
+const (
+	settleTol  = 0.25
+	settleHold = 20 * sim.Millisecond
+)
+
+// fingerprint folds the run's observable totals into a stable string: equal
+// fingerprints mean equal runs for determinism checking.
+func (o *Outcome) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fired=%d", o.Fired)
+	for i := range o.Sent {
+		fmt.Fprintf(&b, " s%d=%d/%d/%d/%d", i, o.Sent[i], o.Data[i], o.RM[i], o.BackRM[i])
+	}
+	for l := range o.PeakQueue {
+		fmt.Fprintf(&b, " q%d=%d/%d", l, o.PeakQueue[l], o.EndQueue[l])
+	}
+	return b.String()
+}

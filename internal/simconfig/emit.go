@@ -1,0 +1,132 @@
+package simconfig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Emit renders spec back into the simconfig language in a canonical
+// directive order, such that Parse(Emit(spec)) reproduces spec. The
+// scenario generator uses it to freeze failing fuzz seeds as runnable,
+// human-editable regression files.
+//
+// Only the patterns the language can express (greedy, onoff, window,
+// randonoff) are representable; any other Pattern implementation is an
+// error.
+func Emit(spec *Spec) (string, error) {
+	var b strings.Builder
+	var events []scenario.TransientEvent
+	if g := spec.Graph; g != nil {
+		fmt.Fprintf(&b, "nodes %d\n", g.Nodes)
+		for _, ed := range g.Edges {
+			fmt.Fprintf(&b, "edge %d %d", ed.U, ed.V)
+			if ed.RateBPS > 0 {
+				fmt.Fprintf(&b, " rate=%s", mbps(ed.RateBPS))
+			}
+			if ed.Delay > 0 {
+				fmt.Fprintf(&b, " delay=%s", durText(ed.Delay))
+			}
+			b.WriteByte('\n')
+		}
+		emitShared(&b, spec, g.TrunkRateBPS, g.TrunkDelay, g.TrunkLossRate)
+		for _, s := range g.Sessions {
+			pat, err := patternText(s.Pattern)
+			if err != nil {
+				return "", fmt.Errorf("session %q: %w", s.Name, err)
+			}
+			fmt.Fprintf(&b, "session %s %d %d %s\n", s.Name, s.Src, s.Dst, pat)
+		}
+		events = g.Events
+	} else {
+		cfg := &spec.Config
+		switches := cfg.Switches
+		if switches == 0 {
+			switches = 2
+		}
+		fmt.Fprintf(&b, "switches %d\n", switches)
+		emitShared(&b, spec, cfg.TrunkRateBPS, cfg.TrunkDelay, cfg.TrunkLossRate)
+		for k, v := range cfg.TrunkRatesBPS {
+			if v > 0 {
+				fmt.Fprintf(&b, "trunk %d %s\n", k, mbps(v))
+			}
+		}
+		for _, s := range cfg.Sessions {
+			pat, err := patternText(s.Pattern)
+			if err != nil {
+				return "", fmt.Errorf("session %q: %w", s.Name, err)
+			}
+			fmt.Fprintf(&b, "session %s %d %d %s\n", s.Name, s.Entry, s.Exit, pat)
+		}
+		events = cfg.Events
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case scenario.TransientRate:
+			fmt.Fprintf(&b, "at %s rate %d %s\n", durText(ev.At), ev.Index, mbps(ev.Value))
+		case scenario.TransientLoss:
+			fmt.Fprintf(&b, "at %s loss %d %s\n", durText(ev.At), ev.Index, floatText(ev.Value))
+		default:
+			return "", fmt.Errorf("unrepresentable transient kind %q", ev.Kind)
+		}
+	}
+	return b.String(), nil
+}
+
+// emitShared writes the directives common to both dialects: trunk defaults,
+// loss, algorithm and duration.
+func emitShared(b *strings.Builder, spec *Spec, rateBPS float64, delay sim.Duration, loss float64) {
+	if rateBPS > 0 {
+		fmt.Fprintf(b, "trunkrate %s\n", mbps(rateBPS))
+	}
+	if delay > 0 {
+		fmt.Fprintf(b, "trunkdelay %s\n", durText(delay))
+	}
+	if loss > 0 {
+		fmt.Fprintf(b, "loss %s\n", floatText(loss))
+	}
+	if spec.AlgU != 0 {
+		fmt.Fprintf(b, "alg %s u=%s\n", spec.AlgName, floatText(spec.AlgU))
+	} else {
+		fmt.Fprintf(b, "alg %s\n", spec.AlgName)
+	}
+	fmt.Fprintf(b, "duration %s\n", durText(spec.Duration))
+}
+
+// patternText renders a workload pattern in the session-directive syntax.
+func patternText(p workload.Pattern) (string, error) {
+	switch v := p.(type) {
+	case workload.Greedy:
+		return "greedy", nil
+	case workload.PeriodicOnOff:
+		s := fmt.Sprintf("onoff %s %s", durText(v.On), durText(v.Off))
+		if v.Start != 0 {
+			s += " " + durText(sim.Duration(v.Start))
+		}
+		return s, nil
+	case workload.Window:
+		return fmt.Sprintf("window %s %s", durText(sim.Duration(v.Start)), durText(sim.Duration(v.Stop))), nil
+	case *workload.RandomOnOff:
+		s := fmt.Sprintf("randonoff %s %s %d", durText(v.MeanOn), durText(v.MeanOff), v.Seed)
+		if v.Start != 0 {
+			s += " " + durText(sim.Duration(v.Start))
+		}
+		return s, nil
+	default:
+		return "", fmt.Errorf("unrepresentable pattern %T", p)
+	}
+}
+
+// mbps renders a bits/s rate as the shortest exact Mb/s literal.
+func mbps(bps float64) string { return floatText(bps / 1e6) }
+
+// floatText is the shortest decimal that parses back to exactly v.
+func floatText(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// durText renders a duration so time.ParseDuration recovers it exactly.
+func durText(d sim.Duration) string { return time.Duration(d).String() }

@@ -1,6 +1,8 @@
 // Package simconfig parses the small topology description language used by
-// cmd/phantom-sim, turning a text file into a runnable ATM scenario. The
-// format is line-oriented; '#' starts a comment:
+// cmd/phantom-sim and the scenario generator, turning a text file into a
+// runnable ATM scenario. The format is line-oriented; '#' starts a comment.
+//
+// Linear ("parking lot") networks:
 //
 //	switches 4                 # linear network of 4 switches (3 trunks)
 //	trunkrate 150              # default trunk rate, Mb/s
@@ -11,15 +13,31 @@
 //	session long 0 3 greedy    # name, entry switch, exit switch, pattern
 //	session b1 0 1 onoff 50ms 50ms [start]
 //	session w1 1 3 window 100ms 400ms
+//	session u1 0 3 randonoff 20ms 80ms 7     # exponential on/off, seed 7
+//	at 100ms rate 1 50         # cut trunk 1 to 50 Mb/s at t=100ms
+//	at 200ms loss 0 0.01       # 1% loss on trunk 0 from t=200ms
 //	duration 500ms             # simulated time
 //
-// Patterns: greedy | onoff <on> <off> [start] | window <start> <stop>.
+// General topologies replace switches/trunk with nodes/edge; sessions then
+// name source and destination nodes and are routed by deterministic
+// shortest path (scenario.BuildGraph):
+//
+//	nodes 4
+//	edge 0 1
+//	edge 0 2 rate=50
+//	edge 1 3 delay=1ms
+//	edge 2 3
+//	session across 0 3 greedy
+//
+// Patterns: greedy | onoff <on> <off> [start] | window <start> <stop> |
+// randonoff <meanOn> <meanOff> [seed] [start].
 package simconfig
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -31,12 +49,53 @@ import (
 	"repro/internal/workload"
 )
 
+// Limits keep adversarial (fuzzed) inputs from describing scenarios that
+// would exhaust memory or simulated time before any invariant can fire.
+const (
+	// MaxNodes bounds switches (linear) and nodes (graph).
+	MaxNodes = 4096
+	// MaxEdges bounds the edge list of a graph spec.
+	MaxEdges = 8192
+	// MaxSessions bounds the session population.
+	MaxSessions = 4096
+	// MaxEvents bounds the transient schedule.
+	MaxEvents = 4096
+	// MaxDuration bounds the run length and every pattern timestamp.
+	MaxDuration = 60 * sim.Second
+	// minRateMbps..maxRateMbps bound every rate in Mb/s (1 kb/s..1 Tb/s).
+	minRateMbps = 1e-3
+	maxRateMbps = 1e6
+	// minMeanOnOff keeps randonoff from pre-generating an unbounded
+	// transition schedule over the run horizon.
+	minMeanOnOff = sim.Millisecond
+	// maxRandTransitions bounds the total pre-generated on/off transitions
+	// across all randonoff sessions of one spec (expected-count estimate),
+	// so a fuzzed spec cannot demand gigabytes of schedule at parse time.
+	maxRandTransitions = 1 << 20
+)
+
 // Spec is a parsed simulation description.
 type Spec struct {
-	Config   scenario.ATMConfig
+	// Config is the linear scenario; meaningful when Graph is nil.
+	Config scenario.ATMConfig
+	// Graph is non-nil when the spec declares a general topology with
+	// nodes/edge directives; build it with scenario.BuildGraph.
+	Graph    *scenario.GraphConfig
 	Duration sim.Duration
-	// AlgName records the chosen algorithm for display.
+	// AlgName records the chosen algorithm for display and re-emission.
 	AlgName string
+	// AlgU records the alg directive's u= factor (0 when absent).
+	AlgU float64
+}
+
+// sessionLine is a session directive before pattern materialization —
+// randonoff needs the final duration as its horizon, and duration may be
+// declared after the sessions.
+type sessionLine struct {
+	name   string
+	a, b   int
+	pat    []string
+	lineNo int
 }
 
 // Parse reads a topology description.
@@ -44,7 +103,15 @@ func Parse(r io.Reader) (*Spec, error) {
 	spec := &Spec{Duration: 500 * sim.Millisecond, AlgName: "phantom"}
 	cfg := &spec.Config
 	cfg.Alg = switchalg.NewPhantom(core.Config{})
-	var trunkOverrides map[int]float64
+	var (
+		trunkOverrides map[int]float64
+		sessions       []sessionLine
+		events         []scenario.TransientEvent
+		edges          []scenario.GraphEdge
+		nodes          int
+		mode           string // "", "linear", "graph"
+		names          = map[string]bool{}
+	)
 
 	sc := bufio.NewScanner(r)
 	lineNo := 0
@@ -61,25 +128,97 @@ func Parse(r io.Reader) (*Spec, error) {
 		fail := func(format string, args ...any) error {
 			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
 		}
+		setMode := func(m string) error {
+			if mode != "" && mode != m {
+				return fail("%q directive mixes %s topology into a %s spec", fields[0], m, mode)
+			}
+			mode = m
+			return nil
+		}
 		switch fields[0] {
 		case "switches":
+			if err := setMode("linear"); err != nil {
+				return nil, err
+			}
 			n, err := atoiField(fields, 1)
 			if err != nil {
 				return nil, fail("switches <n>: %v", err)
 			}
+			if n < 2 || n > MaxNodes {
+				return nil, fail("switches %d out of range [2, %d]", n, MaxNodes)
+			}
 			cfg.Switches = n
+		case "nodes":
+			if err := setMode("graph"); err != nil {
+				return nil, err
+			}
+			n, err := atoiField(fields, 1)
+			if err != nil {
+				return nil, fail("nodes <n>: %v", err)
+			}
+			if n < 2 || n > MaxNodes {
+				return nil, fail("nodes %d out of range [2, %d]", n, MaxNodes)
+			}
+			nodes = n
+		case "edge":
+			if err := setMode("graph"); err != nil {
+				return nil, err
+			}
+			u, err := atoiField(fields, 1)
+			if err != nil {
+				return nil, fail("edge <u> <v> [rate=<Mb/s>] [delay=<dur>]: %v", err)
+			}
+			v, err := atoiField(fields, 2)
+			if err != nil {
+				return nil, fail("edge <u> <v> [rate=<Mb/s>] [delay=<dur>]: %v", err)
+			}
+			ed := scenario.GraphEdge{U: u, V: v}
+			for _, f := range fields[3:] {
+				switch {
+				case strings.HasPrefix(f, "rate="):
+					mbps, err := rateMbps(f[len("rate="):])
+					if err != nil {
+						return nil, fail("edge rate=: %v", err)
+					}
+					ed.RateBPS = mbps * 1e6
+				case strings.HasPrefix(f, "delay="):
+					d, err := boundedDur(f[len("delay="):], 0, sim.Second)
+					if err != nil {
+						return nil, fail("edge delay=: %v", err)
+					}
+					ed.Delay = d
+				default:
+					return nil, fail("unknown edge option %q", f)
+				}
+			}
+			if len(edges) >= MaxEdges {
+				return nil, fail("more than %d edges", MaxEdges)
+			}
+			edges = append(edges, ed)
 		case "trunkrate":
-			mbps, err := floatField(fields, 1)
+			if len(fields) < 2 {
+				return nil, fail("trunkrate <Mb/s>: missing argument")
+			}
+			mbps, err := rateMbps(fields[1])
 			if err != nil {
 				return nil, fail("trunkrate <Mb/s>: %v", err)
 			}
 			cfg.TrunkRateBPS = mbps * 1e6
 		case "trunk":
+			if err := setMode("linear"); err != nil {
+				return nil, err
+			}
 			idx, err := atoiField(fields, 1)
 			if err != nil {
 				return nil, fail("trunk <index> <Mb/s>: %v", err)
 			}
-			mbps, err := floatField(fields, 2)
+			if idx < 0 || idx >= MaxNodes {
+				return nil, fail("trunk index %d out of range", idx)
+			}
+			if len(fields) < 3 {
+				return nil, fail("trunk <index> <Mb/s>: missing argument")
+			}
+			mbps, err := rateMbps(fields[2])
 			if err != nil {
 				return nil, fail("trunk <index> <Mb/s>: %v", err)
 			}
@@ -88,7 +227,10 @@ func Parse(r io.Reader) (*Spec, error) {
 			}
 			trunkOverrides[idx] = mbps * 1e6
 		case "trunkdelay":
-			d, err := durField(fields, 1)
+			if len(fields) < 2 {
+				return nil, fail("trunkdelay <duration>: missing argument")
+			}
+			d, err := boundedDur(fields[1], 0, sim.Second)
 			if err != nil {
 				return nil, fail("trunkdelay <duration>: %v", err)
 			}
@@ -103,33 +245,76 @@ func Parse(r io.Reader) (*Spec, error) {
 			if len(fields) < 2 {
 				return nil, fail("alg <name> [u=<factor>]")
 			}
-			factory, err := algFactory(fields[1:])
+			factory, u, err := algFactory(fields[1:])
 			if err != nil {
 				return nil, fail("%v", err)
 			}
 			cfg.Alg = factory
 			spec.AlgName = fields[1]
+			spec.AlgU = u
 		case "session":
 			if len(fields) < 5 {
 				return nil, fail("session <name> <entry> <exit> <pattern...>")
 			}
-			entry, err := strconv.Atoi(fields[2])
+			name := fields[1]
+			if names[name] {
+				return nil, fail("duplicate session name %q", name)
+			}
+			names[name] = true
+			a, err := atoiField(fields, 2)
 			if err != nil {
 				return nil, fail("entry: %v", err)
 			}
-			exit, err := strconv.Atoi(fields[3])
+			b, err := atoiField(fields, 3)
 			if err != nil {
 				return nil, fail("exit: %v", err)
 			}
-			pat, err := parsePattern(fields[4:])
-			if err != nil {
-				return nil, fail("%v", err)
+			if len(sessions) >= MaxSessions {
+				return nil, fail("more than %d sessions", MaxSessions)
 			}
-			cfg.Sessions = append(cfg.Sessions, scenario.ATMSessionSpec{
-				Name: fields[1], Entry: entry, Exit: exit, Pattern: pat,
-			})
+			sessions = append(sessions, sessionLine{name: name, a: a, b: b, pat: fields[4:], lineNo: lineNo})
+		case "at":
+			// at <time> rate <index> <Mb/s> | at <time> loss <index> <rate>
+			if len(fields) != 5 {
+				return nil, fail("at <time> rate|loss <index> <value>")
+			}
+			when, err := boundedDur(fields[1], 0, MaxDuration)
+			if err != nil {
+				return nil, fail("at <time>: %v", err)
+			}
+			idx, err := atoiField(fields, 3)
+			if err != nil {
+				return nil, fail("at index: %v", err)
+			}
+			if idx < 0 {
+				return nil, fail("at index %d negative", idx)
+			}
+			ev := scenario.TransientEvent{At: when, Index: idx}
+			switch fields[2] {
+			case "rate":
+				mbps, err := rateMbps(fields[4])
+				if err != nil {
+					return nil, fail("at rate: %v", err)
+				}
+				ev.Kind, ev.Value = scenario.TransientRate, mbps*1e6
+			case "loss":
+				frac, err := floatField(fields, 4)
+				if err != nil || frac < 0 || frac >= 1 {
+					return nil, fail("at loss <rate in [0,1)>")
+				}
+				ev.Kind, ev.Value = scenario.TransientLoss, frac
+			default:
+				return nil, fail("at kind %q (want rate or loss)", fields[2])
+			}
+			if len(events) >= MaxEvents {
+				return nil, fail("more than %d events", MaxEvents)
+			}
+			events = append(events, ev)
 		case "duration":
-			d, err := durField(fields, 1)
+			if len(fields) < 2 {
+				return nil, fail("duration <duration>: missing argument")
+			}
+			d, err := boundedDur(fields[1], sim.Microsecond, MaxDuration)
 			if err != nil {
 				return nil, fail("duration <duration>: %v", err)
 			}
@@ -141,6 +326,20 @@ func Parse(r io.Reader) (*Spec, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("no sessions declared")
+	}
+
+	if mode == "graph" {
+		return finishGraph(spec, nodes, edges, sessions, events)
+	}
+	return finishLinear(spec, trunkOverrides, sessions, events)
+}
+
+// finishLinear validates the cross-line constraints of a linear spec and
+// materializes its sessions.
+func finishLinear(spec *Spec, trunkOverrides map[int]float64, sessions []sessionLine, events []scenario.TransientEvent) (*Spec, error) {
+	cfg := &spec.Config
 	if cfg.Switches == 0 {
 		cfg.Switches = 2
 	}
@@ -154,87 +353,196 @@ func Parse(r io.Reader) (*Spec, error) {
 		}
 		cfg.TrunkRatesBPS = rates
 	}
-	if len(cfg.Sessions) == 0 {
-		return nil, fmt.Errorf("no sessions declared")
+	for _, ev := range events {
+		if ev.Index >= cfg.Switches-1 {
+			return nil, fmt.Errorf("at event trunk %d out of range (have %d trunks)", ev.Index, cfg.Switches-1)
+		}
+	}
+	cfg.Events = events
+	cfg.Duration = spec.Duration
+	budget := maxRandTransitions
+	for _, s := range sessions {
+		if s.a < 0 || s.b >= cfg.Switches || s.a >= s.b {
+			return nil, fmt.Errorf("line %d: session %q route %d→%d invalid for %d switches (need 0 ≤ entry < exit)",
+				s.lineNo, s.name, s.a, s.b, cfg.Switches)
+		}
+		pat, err := parsePattern(s.pat, spec.Duration, &budget)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", s.lineNo, err)
+		}
+		cfg.Sessions = append(cfg.Sessions, scenario.ATMSessionSpec{
+			Name: s.name, Entry: s.a, Exit: s.b, Pattern: pat,
+		})
 	}
 	return spec, nil
 }
 
+// finishGraph validates the cross-line constraints of a graph spec and
+// assembles the GraphConfig.
+func finishGraph(spec *Spec, nodes int, edges []scenario.GraphEdge, sessions []sessionLine, events []scenario.TransientEvent) (*Spec, error) {
+	if nodes == 0 {
+		return nil, fmt.Errorf("graph spec needs a nodes directive")
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph spec needs at least one edge")
+	}
+	for k, ed := range edges {
+		if ed.U < 0 || ed.U >= nodes || ed.V < 0 || ed.V >= nodes || ed.U == ed.V {
+			return nil, fmt.Errorf("edge %d joins invalid nodes %d–%d (have %d nodes)", k, ed.U, ed.V, nodes)
+		}
+	}
+	for _, ev := range events {
+		if ev.Index >= len(edges) {
+			return nil, fmt.Errorf("at event edge %d out of range (have %d edges)", ev.Index, len(edges))
+		}
+	}
+	cfg := &spec.Config
+	g := &scenario.GraphConfig{
+		Nodes:         nodes,
+		Edges:         edges,
+		TrunkRateBPS:  cfg.TrunkRateBPS,
+		TrunkDelay:    cfg.TrunkDelay,
+		TrunkLossRate: cfg.TrunkLossRate,
+		Alg:           cfg.Alg,
+		Events:        events,
+		Duration:      spec.Duration,
+	}
+	budget := maxRandTransitions
+	for _, s := range sessions {
+		if s.a < 0 || s.a >= nodes || s.b < 0 || s.b >= nodes || s.a == s.b {
+			return nil, fmt.Errorf("line %d: session %q endpoints %d→%d invalid for %d nodes",
+				s.lineNo, s.name, s.a, s.b, nodes)
+		}
+		pat, err := parsePattern(s.pat, spec.Duration, &budget)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", s.lineNo, err)
+		}
+		g.Sessions = append(g.Sessions, scenario.GraphSessionSpec{
+			Name: s.name, Src: s.a, Dst: s.b, Pattern: pat,
+		})
+	}
+	spec.Graph = g
+	return spec, nil
+}
+
 // algFactory builds a switch algorithm from its name and optional u=<f>.
-func algFactory(fields []string) (switchalg.Factory, error) {
+func algFactory(fields []string) (switchalg.Factory, float64, error) {
 	u := 0.0
 	for _, f := range fields[1:] {
 		if v, ok := strings.CutPrefix(f, "u="); ok {
 			parsed, err := strconv.ParseFloat(v, 64)
 			if err != nil {
-				return nil, fmt.Errorf("u=: %v", err)
+				return nil, 0, fmt.Errorf("u=: %v", err)
+			}
+			if math.IsNaN(parsed) || parsed < 0 || parsed > 1024 {
+				return nil, 0, fmt.Errorf("u=%v out of range [0, 1024]", parsed)
 			}
 			u = parsed
 		} else {
-			return nil, fmt.Errorf("unknown alg option %q", f)
+			return nil, 0, fmt.Errorf("unknown alg option %q", f)
 		}
 	}
 	switch fields[0] {
 	case "phantom":
-		return switchalg.NewPhantom(core.Config{UtilizationFactor: u}), nil
+		return switchalg.NewPhantom(core.Config{UtilizationFactor: u}), u, nil
 	case "phantom-ci":
-		return switchalg.NewPhantomCI(core.Config{UtilizationFactor: u}), nil
+		return switchalg.NewPhantomCI(core.Config{UtilizationFactor: u}), u, nil
 	case "eprca":
-		return switchalg.NewEPRCA(), nil
+		return switchalg.NewEPRCA(), u, nil
 	case "aprc":
-		return switchalg.NewAPRC(), nil
+		return switchalg.NewAPRC(), u, nil
 	case "capc":
-		return switchalg.NewCAPC(), nil
+		return switchalg.NewCAPC(), u, nil
 	case "exact":
-		return switchalg.NewExactMaxMin(), nil
+		return switchalg.NewExactMaxMin(), u, nil
 	case "erica":
-		return switchalg.NewERICA(), nil
+		return switchalg.NewERICA(), u, nil
 	case "none":
-		return switchalg.None, nil
+		return switchalg.None, u, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", fields[0])
+		return nil, 0, fmt.Errorf("unknown algorithm %q", fields[0])
 	}
 }
 
-// parsePattern builds a workload pattern from its textual form.
-func parsePattern(fields []string) (workload.Pattern, error) {
+// parsePattern builds a workload pattern from its textual form. horizon is
+// the spec duration, needed to pre-generate random on/off schedules;
+// budget is the remaining spec-wide randonoff transition allowance.
+func parsePattern(fields []string, horizon sim.Duration, budget *int) (workload.Pattern, error) {
 	switch fields[0] {
 	case "greedy":
+		if len(fields) != 1 {
+			return nil, fmt.Errorf("greedy takes no arguments")
+		}
 		return workload.Greedy{}, nil
 	case "onoff":
-		if len(fields) < 3 {
+		if len(fields) < 3 || len(fields) > 4 {
 			return nil, fmt.Errorf("onoff <on> <off> [start]")
 		}
-		on, err := time.ParseDuration(fields[1])
+		on, err := boundedDur(fields[1], sim.Microsecond, MaxDuration)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("onoff on: %v", err)
 		}
-		off, err := time.ParseDuration(fields[2])
+		off, err := boundedDur(fields[2], 0, MaxDuration)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("onoff off: %v", err)
+		}
+		if off > 0 && off < sim.Microsecond {
+			return nil, fmt.Errorf("onoff off %v below 1µs", off)
 		}
 		var start sim.Time
 		if len(fields) > 3 {
-			s, err := time.ParseDuration(fields[3])
+			s, err := boundedDur(fields[3], 0, MaxDuration)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("onoff start: %v", err)
 			}
 			start = sim.Time(s)
 		}
 		return workload.PeriodicOnOff{Start: start, On: on, Off: off}, nil
 	case "window":
-		if len(fields) < 3 {
+		if len(fields) != 3 {
 			return nil, fmt.Errorf("window <start> <stop>")
 		}
-		start, err := time.ParseDuration(fields[1])
+		start, err := boundedDur(fields[1], 0, MaxDuration)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("window start: %v", err)
 		}
-		stop, err := time.ParseDuration(fields[2])
+		stop, err := boundedDur(fields[2], 0, MaxDuration)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("window stop: %v", err)
 		}
 		return workload.Window{Start: sim.Time(start), Stop: sim.Time(stop)}, nil
+	case "randonoff":
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("randonoff <meanOn> <meanOff> [seed] [start]")
+		}
+		meanOn, err := boundedDur(fields[1], minMeanOnOff, MaxDuration)
+		if err != nil {
+			return nil, fmt.Errorf("randonoff meanOn: %v", err)
+		}
+		meanOff, err := boundedDur(fields[2], minMeanOnOff, MaxDuration)
+		if err != nil {
+			return nil, fmt.Errorf("randonoff meanOff: %v", err)
+		}
+		seed := uint64(1)
+		if len(fields) > 3 {
+			seed, err = strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("randonoff seed: %v", err)
+			}
+		}
+		var start sim.Time
+		if len(fields) > 4 {
+			s, err := boundedDur(fields[4], 0, MaxDuration)
+			if err != nil {
+				return nil, fmt.Errorf("randonoff start: %v", err)
+			}
+			start = sim.Time(s)
+		}
+		*budget -= 2*int(horizon/(meanOn+meanOff)) + 4
+		if *budget < 0 {
+			return nil, fmt.Errorf("randonoff schedules exceed %d total expected transitions", maxRandTransitions)
+		}
+		return workload.NewRandomOnOff(seed, start, meanOn, meanOff, sim.Time(horizon)), nil
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", fields[0])
 	}
@@ -251,12 +559,36 @@ func floatField(fields []string, i int) (float64, error) {
 	if i >= len(fields) {
 		return 0, fmt.Errorf("missing argument")
 	}
-	return strconv.ParseFloat(fields[i], 64)
+	v, err := strconv.ParseFloat(fields[i], 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", fields[i])
+	}
+	return v, nil
 }
 
-func durField(fields []string, i int) (sim.Duration, error) {
-	if i >= len(fields) {
-		return 0, fmt.Errorf("missing argument")
+// rateMbps parses a rate in Mb/s, bounded to [1 kb/s, 1 Tb/s].
+func rateMbps(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
 	}
-	return time.ParseDuration(fields[i])
+	if math.IsNaN(v) || v < minRateMbps || v > maxRateMbps {
+		return 0, fmt.Errorf("rate %q out of range [%g, %g] Mb/s", s, float64(minRateMbps), float64(maxRateMbps))
+	}
+	return v, nil
+}
+
+// boundedDur parses a duration and enforces [min, max].
+func boundedDur(s string, min, max sim.Duration) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < min || d > max {
+		return 0, fmt.Errorf("duration %v out of range [%v, %v]", d, min, max)
+	}
+	return d, nil
 }

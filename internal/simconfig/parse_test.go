@@ -1,6 +1,7 @@
 package simconfig
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -133,10 +134,162 @@ func TestParseErrors(t *testing.T) {
 		{"bad loss", "loss 2\nsession a 0 1 greedy\n"},
 		{"session missing args", "session a 0\n"},
 		{"bad entry", "session a x 1 greedy\n"},
+		// Hardening: range, duplicate and finiteness checks.
+		{"switches too small", "switches 1\nsession a 0 1 greedy\n"},
+		{"switches too big", "switches 100000\nsession a 0 1 greedy\n"},
+		{"duplicate session name", "session a 0 1 greedy\nsession a 0 1 greedy\n"},
+		{"entry == exit", "session a 1 1 greedy\nswitches 3\n"},
+		{"entry > exit", "switches 3\nsession a 2 0 greedy\n"},
+		{"exit out of range", "switches 3\nsession a 0 7 greedy\n"},
+		{"negative entry", "session a -1 1 greedy\n"},
+		{"nan loss", "loss NaN\nsession a 0 1 greedy\n"},
+		{"inf trunkrate", "trunkrate Inf\nsession a 0 1 greedy\n"},
+		{"trunkrate zero", "trunkrate 0\nsession a 0 1 greedy\n"},
+		{"negative trunkdelay", "trunkdelay -1ms\nsession a 0 1 greedy\n"},
+		{"duration too long", "duration 2h\nsession a 0 1 greedy\n"},
+		{"negative duration", "duration -5ms\nsession a 0 1 greedy\n"},
+		{"negative onoff", "session a 0 1 onoff -5ms 5ms\n"},
+		{"u out of range", "alg phantom u=-1\nsession a 0 1 greedy\n"},
+		{"greedy with args", "session a 0 1 greedy now\n"},
+		{"randonoff mean too small", "session a 0 1 randonoff 1us 5ms\n"},
+		{"randonoff bad seed", "session a 0 1 randonoff 5ms 5ms -3\n"},
+		// at-event validation.
+		{"at bad kind", "at 5ms flip 0 1\nsession a 0 1 greedy\n"},
+		{"at bad index", "at 5ms rate 7 50\nsession a 0 1 greedy\n"},
+		{"at negative index", "at 5ms rate -1 50\nsession a 0 1 greedy\n"},
+		{"at loss out of range", "at 5ms loss 0 1.5\nsession a 0 1 greedy\n"},
+		{"at missing value", "at 5ms rate 0\nsession a 0 1 greedy\n"},
+		// Graph dialect validation.
+		{"mixed dialects", "switches 2\nedge 0 1\nsession a 0 1 greedy\n"},
+		{"graph without nodes", "edge 0 1\nsession a 0 1 greedy\n"},
+		{"graph without edges", "nodes 2\nsession a 0 1 greedy\n"},
+		{"edge bad node", "nodes 2\nedge 0 5\nsession a 0 1 greedy\n"},
+		{"edge self loop", "nodes 2\nedge 1 1\nsession a 0 1 greedy\n"},
+		{"edge bad option", "nodes 2\nedge 0 1 speed=9\nsession a 0 1 greedy\n"},
+		{"graph session same endpoints", "nodes 2\nedge 0 1\nsession a 1 1 greedy\n"},
+		{"graph session bad node", "nodes 2\nedge 0 1\nsession a 0 5 greedy\n"},
+		{"graph at bad index", "nodes 2\nedge 0 1\nat 1ms rate 3 50\nsession a 0 1 greedy\n"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(strings.NewReader(c.text)); err == nil {
 			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseGraph(t *testing.T) {
+	spec := parseOK(t, `
+nodes 4
+edge 0 1
+edge 0 2 rate=50
+edge 1 3 delay=1ms
+edge 2 3
+trunkrate 150
+alg phantom u=5
+session across 0 3 greedy
+session top 0 1 greedy
+at 50ms rate 0 25
+duration 100ms
+`)
+	g := spec.Graph
+	if g == nil {
+		t.Fatal("graph spec parsed without a Graph config")
+	}
+	if g.Nodes != 4 || len(g.Edges) != 4 {
+		t.Fatalf("topology = %d nodes, %d edges", g.Nodes, len(g.Edges))
+	}
+	if g.Edges[1].RateBPS != 50e6 || g.Edges[2].Delay != sim.Millisecond {
+		t.Fatalf("edge options = %+v", g.Edges)
+	}
+	if g.TrunkRateBPS != 150e6 {
+		t.Fatalf("graph trunkrate = %v", g.TrunkRateBPS)
+	}
+	if len(g.Sessions) != 2 || g.Sessions[0].Src != 0 || g.Sessions[0].Dst != 3 {
+		t.Fatalf("sessions = %+v", g.Sessions)
+	}
+	if len(g.Events) != 1 || g.Events[0].Kind != scenario.TransientRate || g.Events[0].Value != 25e6 {
+		t.Fatalf("events = %+v", g.Events)
+	}
+
+	n, err := scenario.BuildGraph(*g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(spec.Duration)
+	if n.Dests[0].DataCells() == 0 {
+		t.Fatal("parsed graph scenario delivered nothing")
+	}
+}
+
+func TestParseTransientEvents(t *testing.T) {
+	spec := parseOK(t, `
+switches 3
+session a 0 2 greedy
+at 10ms rate 1 50
+at 20ms loss 0 0.25
+`)
+	evs := spec.Config.Events
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Kind != scenario.TransientRate || evs[0].Index != 1 || evs[0].Value != 50e6 ||
+		evs[0].At != 10*sim.Millisecond {
+		t.Fatalf("rate event = %+v", evs[0])
+	}
+	if evs[1].Kind != scenario.TransientLoss || evs[1].Value != 0.25 {
+		t.Fatalf("loss event = %+v", evs[1])
+	}
+	if _, err := scenario.BuildATM(spec.Config); err != nil {
+		t.Fatalf("transient spec does not build: %v", err)
+	}
+}
+
+func TestParseRandOnOff(t *testing.T) {
+	spec := parseOK(t, "session a 0 1 randonoff 10ms 40ms 7 5ms\nduration 200ms\n")
+	p, ok := spec.Config.Sessions[0].Pattern.(*workload.RandomOnOff)
+	if !ok {
+		t.Fatalf("pattern = %T", spec.Config.Sessions[0].Pattern)
+	}
+	if p.Seed != 7 || p.MeanOn != 10*sim.Millisecond || p.MeanOff != 40*sim.Millisecond ||
+		p.Start != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("params = %+v", p)
+	}
+	// Defaulted seed and start.
+	spec = parseOK(t, "session a 0 1 randonoff 10ms 40ms\n")
+	p = spec.Config.Sessions[0].Pattern.(*workload.RandomOnOff)
+	if p.Seed != 1 || p.Start != 0 {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestParseAlgU(t *testing.T) {
+	spec := parseOK(t, "alg phantom u=7.5\nsession a 0 1 greedy\n")
+	if spec.AlgU != 7.5 {
+		t.Fatalf("AlgU = %v", spec.AlgU)
+	}
+	spec = parseOK(t, "alg eprca\nsession a 0 1 greedy\n")
+	if spec.AlgU != 0 {
+		t.Fatalf("AlgU = %v for eprca", spec.AlgU)
+	}
+}
+
+func TestParseExamples(t *testing.T) {
+	for _, f := range exampleFiles(t) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(strings.NewReader(string(data)))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if spec.Graph != nil {
+			if _, err := scenario.BuildGraph(*spec.Graph); err != nil {
+				t.Errorf("%s: BuildGraph: %v", f, err)
+			}
+		} else if _, err := scenario.BuildATM(spec.Config); err != nil {
+			t.Errorf("%s: BuildATM: %v", f, err)
 		}
 	}
 }

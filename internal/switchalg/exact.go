@@ -28,10 +28,10 @@ type ExactMaxMin struct {
 	// Recompute is the share recomputation interval (default 1 ms).
 	Recompute sim.Duration
 
-	demands  map[atm.VCID]demand
-	share    float64
-	capacity float64
-	tel      algTel
+	demands map[atm.VCID]demand
+	share   float64
+	port    Port
+	tel     algTel
 }
 
 // Instrument implements Instrumenter.
@@ -62,8 +62,8 @@ func (a *ExactMaxMin) Attach(e *sim.Engine, p Port) {
 		a.Recompute = sim.Millisecond
 	}
 	a.demands = make(map[atm.VCID]demand)
-	a.capacity = p.Capacity() * a.TargetUtil
-	a.share = a.capacity
+	a.port = p
+	a.share = p.Capacity() * a.TargetUtil
 	e.Every(a.Recompute, func(en *sim.Engine) { a.recompute(en.Now()) })
 }
 
@@ -79,6 +79,9 @@ func (a *ExactMaxMin) Sessions() int { return len(a.demands) }
 // their demand; the leftovers are divided equally among the rest.
 func (a *ExactMaxMin) recompute(now sim.Time) {
 	a.tel.updates.Inc()
+	// Read the line rate live so transient capacity changes re-divide the
+	// new capacity instead of the Attach-time snapshot.
+	capacity := a.port.Capacity() * a.TargetUtil
 	for vc, d := range a.demands {
 		if now.Sub(d.seen) > a.Expiry {
 			delete(a.demands, vc)
@@ -86,11 +89,11 @@ func (a *ExactMaxMin) recompute(now sim.Time) {
 	}
 	n := len(a.demands)
 	if n == 0 {
-		a.share = a.capacity
+		a.share = capacity
 		return
 	}
 	// Water-fill: iterate until no demand below the current equal share.
-	remaining := a.capacity
+	remaining := capacity
 	unsat := n
 	// Collect demands (n is small in these experiments; an O(n²) fill
 	// keeps the code obvious).
@@ -119,7 +122,7 @@ func (a *ExactMaxMin) recompute(now sim.Time) {
 			return
 		}
 	}
-	a.share = a.capacity // every session satisfied below its demand
+	a.share = capacity // every session satisfied below its demand
 }
 
 // OnArrival implements Algorithm.

@@ -64,6 +64,7 @@ func (p *Phantom) Attach(e *sim.Engine, port Port) {
 	cfg.Capacity = port.Capacity()
 	p.pc = core.MustPortControl(cfg, e.Now())
 	p.pc.Queue = func() float64 { return float64(port.QueueLen()) }
+	p.pc.Capacity = port.Capacity
 	p.pc.OnTick = func(now sim.Time, residual, macr float64) {
 		p.tel.updates.Inc()
 		if p.OnTick != nil {

@@ -98,6 +98,13 @@ func (p PeriodicOnOff) NextChange(t sim.Time) (sim.Time, bool) {
 // schedule is pre-generated from the seed at construction time so that
 // ActiveAt/NextChange are pure functions of t, as Pattern requires.
 type RandomOnOff struct {
+	// The construction parameters are retained so a pattern can be written
+	// back out (the simconfig emitter) or re-derived deterministically.
+	Seed    uint64
+	Start   sim.Time
+	MeanOn  sim.Duration
+	MeanOff sim.Duration
+
 	transitions []sim.Time // alternating on-start, off-start, on-start, ...
 }
 
@@ -109,7 +116,7 @@ func NewRandomOnOff(seed uint64, start sim.Time, meanOn, meanOff sim.Duration, h
 		panic("workload: non-positive on/off mean")
 	}
 	rng := NewRNG(seed)
-	p := &RandomOnOff{}
+	p := &RandomOnOff{Seed: seed, Start: start, MeanOn: meanOn, MeanOff: meanOff}
 	t := start
 	on := true
 	p.transitions = append(p.transitions, t)
