@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// storeIngestStats is one codec's measured ingest cost in the artifact.
+type storeIngestStats struct {
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	DiskBytes   int64   `json:"disk_bytes"`
+	BytesPerRun float64 `json:"bytes_per_run"`
+}
+
+// storeQueryStats is one query's measured index effectiveness.
+type storeQueryStats struct {
+	Blocks        int     `json:"blocks"`
+	BlocksScanned int     `json:"blocks_scanned"`
+	BlocksSkipped int     `json:"blocks_skipped"`
+	BytesRead     int64   `json:"bytes_read"`
+	Millis        float64 `json:"wall_ms"`
+}
+
+// benchCampaignRuns sizes the synthetic campaign: large enough that index
+// pushdown is the difference between touching one block and decompressing
+// ten thousand.
+const benchCampaignRuns = 10_000
+
+// writeBenchCampaign ingests a synthetic campaign shaped like a parameter
+// sweep: per run, one 64-point series, a summary, and a counter snapshot.
+// Run i's series occupies the time range [1000·i, 1000·i+63], so windowed
+// queries discriminate runs.
+func writeBenchCampaign(dir string, comp store.Compression) (int64, error) {
+	w, err := store.Create(dir, store.Options{Compression: comp})
+	if err != nil {
+		return 0, err
+	}
+	pts := make([]metrics.Point, 64)
+	for i := 0; i < benchCampaignRuns; i++ {
+		seg := w.NewSegment(store.RunMeta{Experiment: "sweep/acr", Sweep: i, End: sim.Time(1000*i + 63)})
+		for p := range pts {
+			pts[p] = metrics.Point{T: sim.Time(1000*i + p), V: float64(i) + float64(p)/64}
+		}
+		seg.AddSeries("acr", pts)
+		seg.AddSummary(map[string]float64{"goodput": float64(i), "jain_normalized": 0.99})
+		seg.AddCounters(map[string]uint64{"link.cells_in": uint64(i * 64), "link.cells_out": uint64(i * 63)})
+		if err := w.Append(seg); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	var disk int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		disk += info.Size()
+	}
+	return disk, nil
+}
+
+// TestStoreBenchArtifact measures phantomdb ingest throughput and query
+// index effectiveness on a 10⁴-run synthetic campaign and writes the
+// numbers as JSON to the path in BENCH_STORE_OUT. Skipped unless that
+// variable is set: CI's store-smoke job runs it to publish the
+// BENCH_store.json artifact.
+func TestStoreBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_STORE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_STORE_OUT=<path> to write the store benchmark artifact")
+	}
+
+	artifact := struct {
+		SchemaVersion int                         `json:"schema_version"`
+		CampaignRuns  int                         `json:"campaign_runs"`
+		Ingest        map[string]storeIngestStats `json:"ingest"`
+		WindowQuery   storeQueryStats             `json:"series_window_query"`
+		FullScan      storeQueryStats             `json:"summary_full_scan"`
+	}{
+		SchemaVersion: exp.SchemaVersion,
+		CampaignRuns:  benchCampaignRuns,
+		Ingest:        map[string]storeIngestStats{},
+	}
+
+	base := t.TempDir()
+	var flateDir string
+	for _, c := range []struct {
+		name string
+		comp store.Compression
+	}{{"flate", store.CompressionFlate}, {"none", store.CompressionNone}} {
+		dir := filepath.Join(base, c.name)
+		start := time.Now()
+		disk, err := writeBenchCampaign(dir, c.comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		artifact.Ingest[c.name] = storeIngestStats{
+			RunsPerSec:  benchCampaignRuns / elapsed.Seconds(),
+			DiskBytes:   disk,
+			BytesPerRun: float64(disk) / benchCampaignRuns,
+		}
+		if c.comp == store.CompressionFlate {
+			flateDir = dir
+		}
+	}
+
+	r, err := store.Open(flateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Windowed series query pinned to one run's time range: the index must
+	// reject everything else without decompression.
+	const target = 7_321
+	start := time.Now()
+	pts := 0
+	err = r.Series(store.Query{
+		Sweep: store.AnySweep,
+		From:  sim.Time(1000 * target),
+		To:    sim.Time(1000*target + 63),
+	}, func(c store.SeriesChunk) error { pts += len(c.Points); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	winElapsed := time.Since(start)
+	st := r.Stats()
+	artifact.WindowQuery = storeQueryStats{
+		Blocks:        st.Blocks,
+		BlocksScanned: st.BlocksScanned,
+		BlocksSkipped: st.BlocksSkipped,
+		BytesRead:     st.BytesRead,
+		Millis:        float64(winElapsed.Microseconds()) / 1000,
+	}
+	if pts != 64 {
+		t.Errorf("window query returned %d points, want 64", pts)
+	}
+	if st.BlocksScanned != 1 || st.BlocksSkipped != benchCampaignRuns-1 {
+		t.Errorf("window query scanned %d / skipped %d blocks, want 1 / %d — index pushdown regressed",
+			st.BlocksScanned, st.BlocksSkipped, benchCampaignRuns-1)
+	}
+
+	// Full summary scan: the "aggregate the whole campaign" shape.
+	r.ResetStats()
+	start = time.Now()
+	n := 0
+	err = r.Summaries(store.Query{Sweep: store.AnySweep}, func(s store.RunSummary) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanElapsed := time.Since(start)
+	st = r.Stats()
+	artifact.FullScan = storeQueryStats{
+		Blocks:        st.Blocks,
+		BlocksScanned: st.BlocksScanned,
+		BlocksSkipped: st.BlocksSkipped,
+		BytesRead:     st.BytesRead,
+		Millis:        float64(scanElapsed.Microseconds()) / 1000,
+	}
+	if n != benchCampaignRuns {
+		t.Errorf("full scan saw %d summaries, want %d", n, benchCampaignRuns)
+	}
+
+	b, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log(fmt.Sprintf("wrote %s (flate ingest %.0f runs/s, window query scanned %d of %d blocks in %.2f ms)",
+		out, artifact.Ingest["flate"].RunsPerSec, artifact.WindowQuery.BlocksScanned,
+		artifact.WindowQuery.Blocks, artifact.WindowQuery.Millis))
+}

@@ -14,6 +14,12 @@
 //	phantom-fuzz -family waxman -seed 7  # replay one scenario, verbosely
 //	phantom-fuzz -n 50 -crosscheck       # also diff heap vs wheel runs
 //	phantom-fuzz -n 200 -minimize -freeze testdata/fuzz-regressions
+//	phantom-fuzz -n 100 -telemetry -store out/fuzzdb  # persist every run
+//
+// With -telemetry the fleet's merged counter totals print after the
+// campaign summary. With -store every scenario's summary, counter
+// snapshot, and retained trace events land in a phantomdb campaign
+// directory; -trace-dir additionally exports per-scenario JSONL.
 //
 // Exit status is 1 when any scenario violated an invariant.
 package main
@@ -27,10 +33,12 @@ import (
 	"repro/internal/scengen"
 	"repro/internal/sim"
 	"repro/internal/simconfig"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	c := cli.New("phantom-fuzz", cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagProfile)
+	c := cli.New("phantom-fuzz",
+		cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
 	n := flag.Int("n", 100, "scenarios per family")
 	familyName := flag.String("family", "", "restrict to one family (default all): parkinglot, fattree, waxman, flashcrowd, webmix, transient")
 	seedFlag := flag.Uint64("seed", 0, "replay exactly one scenario with this seed (requires -family)")
@@ -63,6 +71,10 @@ func main() {
 		return
 	}
 
+	sw, err := c.OpenStore()
+	if err != nil {
+		c.Fatal(err)
+	}
 	rep, err := scengen.RunCampaign(scengen.CampaignConfig{
 		Families:   families,
 		N:          *n,
@@ -70,14 +82,29 @@ func main() {
 		Scheduler:  c.Scheduler,
 		CrossCheck: *crossCheck,
 		Minimize:   *minimize,
+		Telemetry:  c.Telemetry,
+		TraceDir:   c.TraceDir,
+		Store:      sw,
 	})
 	if err != nil {
+		if sw != nil {
+			sw.Close()
+		}
 		c.Fatal(err)
+	}
+	if sw != nil {
+		if err := sw.Close(); err != nil {
+			c.Fatal(err)
+		}
 	}
 	fmt.Print(rep.Summary())
 	if !c.Quiet {
 		fmt.Printf("wall %v, %.1fx parallel speedup\n",
 			rep.Stats.Wall.Round(1000000), float64(rep.Stats.WorkWall)/float64(rep.Stats.Wall))
+	}
+	if len(rep.Stats.Counters) > 0 && !c.Quiet {
+		fmt.Println("\nfleet counter totals:")
+		telemetry.WriteText(os.Stdout, rep.Stats.Counters, "  ")
 	}
 	if *freezeDir != "" {
 		for i := range rep.Findings {

@@ -13,6 +13,11 @@
 //	session narrow 1 2 greedy
 //	duration 500ms
 //	EOF
+//
+// Observability flags: -telemetry prints the run's counter snapshot,
+// -trace-dir exports the flight recorder as JSONL, and -store appends the
+// run (series, summary metrics, counters, trace events) to a phantomdb
+// campaign directory under experiment id "sim" for phantom-trace -store.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simconfig"
+	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -49,7 +56,8 @@ type view struct {
 }
 
 func main() {
-	c := cli.New("phantom-sim", cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile)
+	c := cli.New("phantom-sim",
+		cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
 	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
 	svgDir := flag.String("svg", "", "write SVG figures into this directory")
 	csvPath := flag.String("csv", "", "write all series as CSV to this file")
@@ -62,6 +70,12 @@ func main() {
 	var tr *trace.Tracer
 	if *traceN > 0 {
 		tr = trace.New(*traceN)
+	} else if c.TraceDir != "" || c.StoreDir != "" {
+		tr = trace.New(cli.TraceRingCap)
+	}
+	var reg *telemetry.Registry
+	if c.Telemetry {
+		reg = telemetry.New()
 	}
 
 	var v *view
@@ -70,6 +84,7 @@ func main() {
 		cfg := *spec.Graph
 		cfg.Scheduler = c.Scheduler
 		cfg.Trace = tr
+		cfg.Telemetry = reg
 		n, err := scenario.BuildGraph(cfg)
 		if err != nil {
 			c.Fatal(err)
@@ -83,6 +98,7 @@ func main() {
 		cfg := spec.Config
 		cfg.Scheduler = c.Scheduler
 		cfg.Trace = tr
+		cfg.Telemetry = reg
 		n, err := scenario.BuildATM(cfg)
 		if err != nil {
 			c.Fatal(err)
@@ -109,13 +125,79 @@ func main() {
 			c.Fatal(err)
 		}
 	}
-	if v.trace != nil {
+	if reg != nil {
+		fmt.Println("\ntelemetry:")
+		telemetry.WriteText(os.Stdout, reg.Snapshot(), "  ")
+	}
+	if c.TraceDir != "" {
+		path, err := cli.ExportTrace(c.TraceDir, "sim", tr)
+		if err != nil {
+			c.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if c.StoreDir != "" {
+		if err := storeRun(c, v, reg, tr, end); err != nil {
+			c.Fatal(err)
+		}
+	}
+	if *traceN > 0 {
 		fmt.Printf("\ntrace (last %d of %d events):\n", len(v.trace.Events()), v.trace.Seen())
 		if _, err := v.trace.WriteTo(os.Stdout); err != nil {
 			c.Fatal(err)
 		}
 	}
 	c.Close()
+}
+
+// storeRun persists the run under experiment id "sim": every recorded
+// series (labeled as in the CSV export), the summary metrics, the counter
+// snapshot and the retained trace events.
+func storeRun(c *cli.Common, v *view, reg *telemetry.Registry, tr *trace.Tracer, end sim.Time) error {
+	w, err := c.OpenStore()
+	if err != nil {
+		return err
+	}
+	seg := w.NewSegment(store.RunMeta{Experiment: "sim", End: end})
+	for i, s := range v.acr {
+		seg.AddSeries("acr_"+v.sessions[i], s.Points())
+	}
+	for i, s := range v.goodput {
+		seg.AddSeries("goodput_"+v.sessions[i], s.Points())
+	}
+	for i, s := range v.queues {
+		seg.AddSeries("queue_"+v.queueLabels[i], s.Points())
+	}
+	for i, s := range v.fairShares {
+		seg.AddSeries("fairshare_"+v.fsLabels[i], s.Points())
+	}
+	seg.AddSummary(summaryMap(v, end))
+	seg.AddCounters(reg.Snapshot())
+	if tr != nil {
+		seg.AddTrace(tr.Events())
+	}
+	if err := w.Append(seg); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// summaryMap flattens the summary table into the scalar metrics the store
+// persists per run.
+func summaryMap(v *view, end sim.Time) map[string]float64 {
+	from := end - sim.Time(float64(end)*0.25)
+	m := make(map[string]float64, 3*len(v.sessions)+1)
+	var got []float64
+	for i, name := range v.sessions {
+		g := v.goodput[i].TimeAvg(from, end)
+		got = append(got, g)
+		m["goodput_"+name] = g
+		m["oracle_"+name] = v.oracle[i]
+		m["final_acr_"+name] = v.acr[i].Last()
+	}
+	m["jain_normalized"] = metrics.NormalizedJainIndex(got, v.oracle)
+	return m
 }
 
 func linearView(spec *simconfig.Spec, n *scenario.ATMNet) (*view, error) {

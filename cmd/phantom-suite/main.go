@@ -21,6 +21,9 @@
 //	                counters and fleet totals (text and -json schema v2)
 //	-trace-dir d    keep a flight recorder per job and export each job's
 //	                retained events to d/<id>.jsonl
+//	-store d        append every run's results (summary metrics, counters
+//	                when -telemetry is on, trace events) to the phantomdb
+//	                campaign directory d; query it with phantom-trace -store
 //	-http addr      serve live fleet progress while the suite runs:
 //	                /status (JSON) and /metrics (Prometheus text)
 //	-json           machine-readable output
@@ -52,6 +55,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -66,6 +70,7 @@ type suiteConfig struct {
 	updateGolden bool
 	telemetry    bool
 	traceDir     string
+	storeDir     string
 	httpAddr     string
 	jsonOut      bool
 	list         bool
@@ -74,7 +79,7 @@ type suiteConfig struct {
 
 func main() {
 	c := cli.New("phantom-suite",
-		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace)
+		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
 	var (
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
@@ -88,7 +93,7 @@ func main() {
 		filter: c.FilterRegexp(), workers: c.Workers,
 		duration: sim.Duration(c.Duration), quick: c.Quick, scheduler: c.Scheduler,
 		goldenDir: *goldenDir, updateGolden: *updateGolden,
-		telemetry: c.Telemetry, traceDir: c.TraceDir, httpAddr: *httpAddr,
+		telemetry: c.Telemetry, traceDir: c.TraceDir, storeDir: c.StoreDir, httpAddr: *httpAddr,
 		jsonOut: c.JSON, list: *list, verbose: *verbose,
 	}
 	code := run(cfg)
@@ -214,7 +219,10 @@ func run(cfg suiteConfig) int {
 
 	jobs := make([]runner.Job, len(defs))
 	var tracers []*trace.Tracer
-	if cfg.traceDir != "" {
+	if cfg.traceDir != "" || cfg.storeDir != "" {
+		// The store persists trace events too, so -store alone keeps a
+		// flight recorder per job; JSONL files are only written for
+		// -trace-dir. Tracing never alters results either way.
 		tracers = make([]*trace.Tracer, len(defs))
 	}
 	for i, d := range defs {
@@ -244,6 +252,14 @@ func run(cfg suiteConfig) int {
 		}
 	}
 	fleet := &runner.Fleet{Workers: cfg.workers, Hook: hook, Telemetry: cfg.telemetry}
+	if cfg.storeDir != "" {
+		sw, err := store.Create(cfg.storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
+			return 2
+		}
+		fleet.Store = sw
+	}
 	if cfg.httpAddr != "" {
 		state := newLiveState(len(jobs))
 		fleet.Hook = func(id string, phase exp.Phase, err error) {
@@ -259,8 +275,14 @@ func run(cfg suiteConfig) int {
 		defer stop()
 	}
 	results, stats := fleet.Run(jobs)
+	if fleet.Store != nil {
+		if err := fleet.Store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
+			return 2
+		}
+	}
 
-	if tracers != nil {
+	if cfg.traceDir != "" {
 		for i, tr := range tracers {
 			path, err := cli.ExportTrace(cfg.traceDir, jobs[i].Label(), tr)
 			if err != nil {

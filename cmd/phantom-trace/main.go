@@ -1,51 +1,90 @@
-// Command phantom-trace inspects flight-recorder exports: the JSONL files
-// written by the -trace-dir flag of phantom-suite / phantom-atm /
-// phantom-tcp. It loads one or more exports, filters by component, kind,
-// detail substring and time window, and either prints the matching events,
-// summarizes them per (component, kind), or re-emits them as JSONL for
-// further piping.
+// Command phantom-trace inspects recorded observability data in either of
+// its persisted forms: the JSONL flight-recorder exports written by
+// -trace-dir, or a phantomdb campaign directory written by -store.
+//
+// JSONL mode loads one or more exports, filters by component, kind, detail
+// substring and time window, and either prints the matching events,
+// summarizes them per (component, kind), or re-emits them as JSONL.
+// Malformed lines are skipped and counted (the count lands on stderr), so
+// a truncated export still yields every intact event.
+//
+// Store mode (-store dir) queries the columnar campaign store without
+// loading it: the block index narrows by experiment, sweep, component and
+// time window first, and only matching blocks are decompressed.
 //
 // Usage:
 //
 //	phantom-trace [flags] file.jsonl [file.jsonl ...]
+//	phantom-trace -store dir [flags]
 //
-//	-component s   substring match on the component name (e.g. 'F0', 'edge')
+//	-component s   component name (substring in JSONL mode, exact in store mode)
 //	-kind s        substring match on the event kind (e.g. 'drop', 'rate')
 //	-detail s      substring match on the formatted fields ('vc=3')
 //	-from d        window start in simulated time (e.g. 100ms)
 //	-to d          window end in simulated time (0 = unbounded)
-//	-summary       print per-(component, kind) counts and rates, not events
-//	-json          re-emit the filtered events as JSONL on stdout
+//	-summary       per-(component, kind) event counts and rates
+//	-json          re-emit the selected events as JSONL on stdout
+//
+//	-store dir     query a phantomdb campaign directory instead of JSONL files
+//	-experiment s  exact experiment id filter (store mode)
+//	-sweep n       sweep index, -1 = all (store mode)
+//	-series name   print the named series' points instead of trace events
+//	-counters      print the campaign's merged telemetry counters
+//	-results       print per-metric aggregates of the run summaries
+//	-scan-stats    report blocks scanned vs skipped on stderr after the query
 //
 // Exit status is 0 even when nothing matches (an empty selection is an
-// answer); 1 on unreadable or malformed input.
+// answer); 1 on unreadable input.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		component = flag.String("component", "", "substring match on the component name")
+		component = flag.String("component", "", "component name (substring; exact in store mode)")
 		kind      = flag.String("kind", "", "substring match on the event kind")
 		detail    = flag.String("detail", "", "substring match on the formatted fields")
 		from      = flag.Duration("from", 0, "window start in simulated time (e.g. 100ms)")
 		to        = flag.Duration("to", 0, "window end in simulated time (0 = unbounded)")
 		summary   = flag.Bool("summary", false, "print per-(component, kind) counts and rates instead of events")
-		jsonOut   = flag.Bool("json", false, "re-emit the filtered events as JSONL")
+		jsonOut   = flag.Bool("json", false, "re-emit the selected events as JSONL")
+
+		storeDir  = flag.String("store", "", "query a phantomdb campaign directory instead of JSONL files")
+		exp       = flag.String("experiment", "", "exact experiment id filter (store mode)")
+		sweep     = flag.Int("sweep", store.AnySweep, "sweep index, -1 = all (store mode)")
+		series    = flag.String("series", "", "print the named series' points instead of trace events (store mode)")
+		counters  = flag.Bool("counters", false, "print the campaign's merged telemetry counters (store mode)")
+		results   = flag.Bool("results", false, "print per-metric aggregates of the run summaries (store mode)")
+		scanStats = flag.Bool("scan-stats", false, "report blocks scanned vs skipped on stderr (store mode)")
 	)
 	flag.Parse()
+
+	if *storeDir != "" {
+		runStore(storeOpts{
+			dir: *storeDir, experiment: *exp, sweep: *sweep,
+			component: *component, kind: *kind, detail: *detail,
+			from: sim.Time(*from), to: sim.Time(*to),
+			series: *series, counters: *counters, results: *results,
+			summary: *summary, jsonOut: *jsonOut, scanStats: *scanStats,
+		})
+		return
+	}
+
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "phantom-trace: no input files (expected JSONL exports from -trace-dir)")
+		fmt.Fprintln(os.Stderr, "phantom-trace: no input (expected JSONL exports from -trace-dir, or -store dir)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -56,10 +95,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		evs, err := trace.ReadJSONL(f)
+		evs, skipped, err := trace.ReadJSONL(f)
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "phantom-trace: %s: skipped %d malformed lines\n", path, skipped)
 		}
 		events = append(events, evs...)
 	}
@@ -89,6 +131,155 @@ func main() {
 			fmt.Println(e.String())
 		}
 	}
+}
+
+type storeOpts struct {
+	dir        string
+	experiment string
+	sweep      int
+	component  string
+	kind       string
+	detail     string
+	from, to   sim.Time
+	series     string
+	counters   bool
+	results    bool
+	summary    bool
+	jsonOut    bool
+	scanStats  bool
+}
+
+// runStore answers one store-mode query. The Query's index-backed fields
+// (experiment, sweep, component, window) are pushed down so non-matching
+// blocks are skipped without decompression; kind/detail substrings are
+// post-filters on the events that come back.
+func runStore(o storeOpts) {
+	r, err := store.Open(o.dir)
+	if err != nil {
+		fatal(err)
+	}
+	q := store.Query{
+		Experiment: o.experiment,
+		Sweep:      o.sweep,
+		From:       o.from,
+		To:         o.to,
+	}
+	switch {
+	case o.series != "":
+		q.Name = o.series
+		err = printSeries(r, q)
+	case o.counters:
+		err = printCounters(r, q)
+	case o.results:
+		err = printResults(r, q)
+	default:
+		q.Component = o.component
+		err = runStoreTrace(r, q, o)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if o.scanStats {
+		s := r.Stats()
+		fmt.Fprintf(os.Stderr, "phantom-trace: %d files, %d blocks: scanned %d, skipped %d, read %d bytes\n",
+			s.Files, s.Blocks, s.BlocksScanned, s.BlocksSkipped, s.BytesRead)
+	}
+}
+
+// printSeries streams series points as "experiment sweep time value" rows.
+func printSeries(r *store.Reader, q store.Query) error {
+	return r.Series(q, func(c store.SeriesChunk) error {
+		for _, p := range c.Points {
+			fmt.Printf("%-24s %4d %14s %g\n", c.Experiment, c.Sweep, p.T, p.V)
+		}
+		return nil
+	})
+}
+
+// printCounters merges every matching run's telemetry snapshot (sum for
+// counters, max for _peak gauges) and renders the totals.
+func printCounters(r *store.Reader, q store.Query) error {
+	total := map[string]uint64{}
+	runs := 0
+	err := r.Counters(q, func(rc store.RunCounters) error {
+		telemetry.Merge(total, rc.Counters)
+		runs++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs\n", runs)
+	_, err = telemetry.WriteText(os.Stdout, total, "  ")
+	return err
+}
+
+// printResults aggregates the scalar summary metrics of every matching
+// run: per metric, the run count, mean, min and max.
+func printResults(r *store.Reader, q store.Query) error {
+	type agg struct {
+		n        int
+		sum      float64
+		min, max float64
+	}
+	metrics := map[string]*agg{}
+	runs := 0
+	err := r.Summaries(q, func(rs store.RunSummary) error {
+		runs++
+		for name, v := range rs.Summary {
+			a, ok := metrics[name]
+			if !ok {
+				a = &agg{min: math.Inf(1), max: math.Inf(-1)}
+				metrics[name] = a
+			}
+			a.n++
+			a.sum += v
+			a.min = math.Min(a.min, v)
+			a.max = math.Max(a.max, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs\n", runs)
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Printf("  %-32s %6s %14s %14s %14s\n", "metric", "runs", "mean", "min", "max")
+	}
+	for _, name := range names {
+		a := metrics[name]
+		fmt.Printf("  %-32s %6d %14.6g %14.6g %14.6g\n", name, a.n, a.sum/float64(a.n), a.min, a.max)
+	}
+	return nil
+}
+
+// runStoreTrace streams trace events through the JSONL-mode output paths.
+func runStoreTrace(r *store.Reader, q store.Query, o storeOpts) error {
+	post := trace.Query{Kind: o.kind, Detail: o.detail}
+	var events []trace.Event
+	err := r.Trace(q, func(c store.TraceChunk) error {
+		events = append(events, trace.SelectEvents(c.Events, post)...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.jsonOut:
+		return trace.WriteJSONL(os.Stdout, events)
+	case o.summary:
+		printSummary(events)
+	default:
+		for _, e := range events {
+			fmt.Println(e.String())
+		}
+	}
+	return nil
 }
 
 // printSummary renders per-(component, kind) counts and event rates over

@@ -67,6 +67,12 @@ type Link struct {
 	dropped int64
 	sent    int64
 
+	// waitSince shadows the queue + wire with each cell's enqueue time,
+	// feeding the latency histogram. Maintained only when the histogram is
+	// live (Active), so an uninstrumented run pays one branch per cell and
+	// allocates nothing.
+	waitSince ring.Ring[sim.Time]
+
 	tel linkTel
 }
 
@@ -74,21 +80,27 @@ type Link struct {
 // them; with no registry they stay inert zero handles, so the hot path bumps
 // them unconditionally.
 type linkTel struct {
-	sent      telemetry.Counter
-	dropped   telemetry.Counter
-	lost      telemetry.Counter
-	queuePeak telemetry.Gauge
+	sent       telemetry.Counter
+	dropped    telemetry.Counter
+	lost       telemetry.Counter
+	queuePeak  telemetry.Gauge
+	queueDepth telemetry.Histogram
+	cellWait   telemetry.Histogram
 }
 
 // Instrument registers the link's counters with reg (class-level names, so
 // every link in a scenario shares the accumulators). A nil reg yields inert
-// handles.
+// handles. Two distributions ride along with the counters: queue depth
+// sampled at each enqueue, and per-cell latency from enqueue to the end of
+// transmission (queueing + serialization, in simulated nanoseconds).
 func (l *Link) Instrument(reg *telemetry.Registry) {
 	l.tel = linkTel{
-		sent:      reg.Counter("link.cells_sent"),
-		dropped:   reg.Counter("link.cells_dropped"),
-		lost:      reg.Counter("link.cells_lost"),
-		queuePeak: reg.Gauge("link.queue_cells_peak"),
+		sent:       reg.Counter("link.cells_sent"),
+		dropped:    reg.Counter("link.cells_dropped"),
+		lost:       reg.Counter("link.cells_lost"),
+		queuePeak:  reg.Gauge("link.queue_cells_peak"),
+		queueDepth: reg.Histogram("link.queue_depth_cells"),
+		cellWait:   reg.Histogram("link.cell_latency_ns"),
 	}
 }
 
@@ -141,6 +153,10 @@ func (l *Link) Receive(e *sim.Engine, c atm.Cell) {
 	}
 	l.queue.Push(c)
 	l.tel.queuePeak.Observe(uint64(l.QueueLen()))
+	l.tel.queueDepth.Observe(uint64(l.QueueLen()))
+	if l.tel.cellWait.Active() {
+		l.waitSince.Push(e.Now())
+	}
 	if l.OnQueue != nil {
 		l.OnQueue(e.Now(), l.QueueLen())
 	}
@@ -165,6 +181,9 @@ func linkTxDone(e *sim.Engine, p sim.Payload) {
 	l.busy = false
 	l.sent++
 	l.tel.sent.Inc()
+	if l.tel.cellWait.Active() {
+		l.tel.cellWait.Observe(uint64(e.Now().Sub(l.waitSince.Pop())))
+	}
 	if l.OnQueue != nil {
 		l.OnQueue(e.Now(), l.QueueLen())
 	}

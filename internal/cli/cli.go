@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -50,6 +51,10 @@ const (
 	// FlagTrace registers -trace-dir: keep a flight recorder per run and
 	// export its retained events as JSONL under the given directory.
 	FlagTrace
+	// FlagStore registers -store: persist run results (summaries, counters,
+	// traces) into a columnar phantomdb campaign directory, queryable with
+	// phantom-trace -store.
+	FlagStore
 )
 
 // TraceRingCap is the per-run flight-recorder capacity behind -trace-dir:
@@ -81,6 +86,9 @@ type Common struct {
 	// TraceDir, when non-empty, is where each run's flight-recorder JSONL
 	// export lands.
 	TraceDir string
+	// StoreDir, when non-empty, is the phantomdb campaign directory run
+	// results append to.
+	StoreDir string
 
 	schedulerName string
 	cpuProfile    string
@@ -125,6 +133,10 @@ func New(prog string, flags Flags) *Common {
 	if flags&FlagTrace != 0 {
 		flag.StringVar(&c.TraceDir, "trace-dir", "",
 			"export each run's flight-recorder events as JSONL files under this directory")
+	}
+	if flags&FlagStore != 0 {
+		flag.StringVar(&c.StoreDir, "store", "",
+			"append run results (summaries, counters, traces) to this phantomdb campaign directory")
 	}
 	return c
 }
@@ -195,6 +207,31 @@ func (c *Common) Options() exp.Options {
 		o.Telemetry = telemetry.New()
 	}
 	return o
+}
+
+// OpenStore opens the -store campaign writer, or returns nil when the
+// flag is unset.
+func (c *Common) OpenStore() (*store.Writer, error) {
+	if c.StoreDir == "" {
+		return nil, nil
+	}
+	return store.Create(c.StoreDir, store.Options{})
+}
+
+// StoreRun appends one completed run to w: the result's summary metrics
+// and telemetry counters, plus the tracer's retained events when tr is
+// non-nil. Callers running a fleet should use runner.Fleet.Store instead;
+// this is the sequential single-run path.
+func StoreRun(w *store.Writer, meta store.RunMeta, res *exp.Result, tr *trace.Tracer) error {
+	seg := w.NewSegment(meta)
+	if res != nil {
+		seg.AddSummary(res.Summary)
+		seg.AddCounters(res.Counters)
+	}
+	if tr != nil {
+		seg.AddTrace(tr.Events())
+	}
+	return w.Append(seg)
 }
 
 // ExportTrace writes tr's retained events to dir/<id>.jsonl (the ID is
@@ -272,7 +309,9 @@ func (c *Common) RunExperiment(id string) error {
 	}
 	o := c.Options()
 	var tr *trace.Tracer
-	if c.TraceDir != "" {
+	if c.TraceDir != "" || c.StoreDir != "" {
+		// The store persists trace events too, so -store alone keeps a
+		// flight recorder; tracing never alters results.
 		tr = trace.New(TraceRingCap)
 		o.Trace = tr
 	}
@@ -280,13 +319,30 @@ func (c *Common) RunExperiment(id string) error {
 	if err != nil {
 		return err
 	}
-	if tr != nil {
+	if c.TraceDir != "" {
 		path, err := ExportTrace(c.TraceDir, def.ID, tr)
 		if err != nil {
 			return err
 		}
 		if !c.JSON {
 			fmt.Printf("  trace: %d events retained (%d seen) → %s\n", len(tr.Events()), tr.Seen(), path)
+		}
+	}
+	if c.StoreDir != "" {
+		w, err := c.OpenStore()
+		if err != nil {
+			return err
+		}
+		end := o.Duration
+		if end <= 0 {
+			end = def.Default
+		}
+		if err := StoreRun(w, store.RunMeta{Experiment: def.ID, End: sim.Time(end)}, res, tr); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
 		}
 	}
 	if c.JSON {

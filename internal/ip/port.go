@@ -75,23 +75,27 @@ type Port struct {
 // registry). Drops split by cause: injected loss, the physical tail bound,
 // or the queue discipline's verdict (RED/ECN/quench policies).
 type portTel struct {
-	pktsSent  telemetry.Counter
-	bytesSent telemetry.Counter
-	dropTail  telemetry.Counter
-	dropDisc  telemetry.Counter
-	dropLoss  telemetry.Counter
-	queuePeak telemetry.Gauge
+	pktsSent   telemetry.Counter
+	bytesSent  telemetry.Counter
+	dropTail   telemetry.Counter
+	dropDisc   telemetry.Counter
+	dropLoss   telemetry.Counter
+	queuePeak  telemetry.Gauge
+	queueDepth telemetry.Histogram
 }
 
-// Instrument registers the port's counters with reg.
+// Instrument registers the port's counters with reg. The queue-depth
+// histogram samples the backlog at each admit, giving the distribution
+// behind the _peak gauge.
 func (p *Port) Instrument(reg *telemetry.Registry) {
 	p.tel = portTel{
-		pktsSent:  reg.Counter("ip.pkts_sent"),
-		bytesSent: reg.Counter("ip.bytes_sent"),
-		dropTail:  reg.Counter("ip.drops_tail"),
-		dropDisc:  reg.Counter("ip.drops_disc"),
-		dropLoss:  reg.Counter("ip.drops_loss"),
-		queuePeak: reg.Gauge("ip.queue_pkts_peak"),
+		pktsSent:   reg.Counter("ip.pkts_sent"),
+		bytesSent:  reg.Counter("ip.bytes_sent"),
+		dropTail:   reg.Counter("ip.drops_tail"),
+		dropDisc:   reg.Counter("ip.drops_disc"),
+		dropLoss:   reg.Counter("ip.drops_loss"),
+		queuePeak:  reg.Gauge("ip.queue_pkts_peak"),
+		queueDepth: reg.Histogram("ip.queue_depth_pkts"),
 	}
 }
 
@@ -171,6 +175,7 @@ func (p *Port) Receive(e *sim.Engine, pkt *Packet) {
 	}
 	p.queue.Push(pkt)
 	p.tel.queuePeak.Observe(uint64(p.QueueLen()))
+	p.tel.queueDepth.Observe(uint64(p.QueueLen()))
 	if p.OnQueue != nil {
 		p.OnQueue(e.Now(), p.QueueLen())
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -150,6 +151,34 @@ type Fleet struct {
 	// phantom-suite -http. Called from worker goroutines; it must be safe
 	// for concurrent use and should return quickly.
 	OnResult func(Result)
+	// Store, when set, persists each job's results (summary metrics,
+	// telemetry counters when recorded, flight-recorder events when the job
+	// carries a tracer) into the columnar campaign store. Each worker
+	// encodes and compresses its own job's segment in parallel; the writer
+	// serializes them to disk in job-index order, so the campaign's bytes
+	// are identical for any worker count. Write errors stick in the writer
+	// and surface from its Close — check it after the fleet drains.
+	Store *store.Writer
+}
+
+// commitStore encodes one finished job into the campaign store. Runs on
+// the worker goroutine (the compression happens here, in parallel); only
+// the final disk append is serialized inside Commit. A failed job commits
+// an empty segment so the campaign keeps its one-segment-per-job shape.
+func (f *Fleet) commitStore(i int, job *Job, r *Result) {
+	seg := f.Store.NewSegment(store.RunMeta{
+		Experiment: job.Def.ID,
+		Sweep:      job.SweepIndex,
+		End:        sim.Time(r.SimTime),
+	})
+	if r.Res != nil {
+		seg.AddSummary(r.Res.Summary)
+		seg.AddCounters(r.Res.Counters)
+	}
+	if job.Opts.Trace != nil {
+		seg.AddTrace(job.Opts.Trace.Events())
+	}
+	f.Store.Commit(i, seg)
 }
 
 // Jobs builds one job per definition under shared options.
@@ -203,6 +232,9 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = runOne(jobs[i], f.Hook, f.Telemetry)
+				if f.Store != nil {
+					f.commitStore(i, &jobs[i], &results[i])
+				}
 				if f.OnResult != nil {
 					f.OnResult(results[i])
 				}

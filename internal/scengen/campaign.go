@@ -2,12 +2,16 @@ package scengen
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/simconfig"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // CampaignConfig sizes one fuzzing campaign.
@@ -31,6 +35,21 @@ type CampaignConfig struct {
 	Minimize bool
 	// Hook observes job progress (optional, concurrency-safe).
 	Hook exp.Hook
+	// Telemetry gives every scenario run a private counter registry; the
+	// fleet totals land in the report's Stats.Counters, and per-run
+	// snapshots go to the Store when one is attached. Observation never
+	// changes fingerprints or findings.
+	Telemetry bool
+	// TraceDir, when non-empty, keeps a flight recorder per scenario and
+	// exports it to TraceDir/<family>-<index>.jsonl.
+	TraceDir string
+	// TraceRingCap caps each scenario's flight recorder (0: a default
+	// suitable for campaign-sized runs).
+	TraceRingCap int
+	// Store, when non-nil, persists every scenario run — summary, counter
+	// snapshot, trace events — through the fleet's campaign-store sink.
+	// The caller owns the writer and its Close.
+	Store *store.Writer
 }
 
 // Finding is one scenario that violated an invariant.
@@ -72,39 +91,58 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 
 	// One fleet job per scenario. Findings are written into per-job slots
 	// (one writer each), then compacted in order after the fleet drains.
+	observeTrace := cfg.TraceDir != "" || cfg.Store != nil
+	ringCap := cfg.TraceRingCap
+	if ringCap <= 0 {
+		ringCap = 1 << 12
+	}
 	slots := make([]*Finding, len(families)*cfg.N)
 	var jobs []runner.Job
 	for fi, fam := range families {
 		for i := 0; i < cfg.N; i++ {
 			fam, i, slot := fam, i, &slots[fi*cfg.N+i]
+			var opts exp.Options
+			if observeTrace {
+				// One recorder per job: tracers are single-goroutine like
+				// engines. The fleet's store sink reads it back from
+				// Opts.Trace after the job lands.
+				opts.Trace = trace.New(ringCap)
+			}
 			jobs = append(jobs, runner.Job{
 				Def: exp.Definition{
 					ID:    "fuzz/" + string(fam),
 					Title: "scenario fuzz: " + string(fam),
 					Run: func(o exp.Options) (*exp.Result, error) {
-						f, err := runOne(fam, i, o.Seed, sched, cfg.CrossCheck, cfg.Minimize)
+						f, err := runOne(fam, i, o.Seed, sched, cfg.CrossCheck, cfg.Minimize,
+							Observe{Telemetry: o.Telemetry, Trace: o.Trace})
 						if err != nil {
 							return nil, err
 						}
 						*slot = f
-						res := &exp.Result{ID: "fuzz/" + string(fam), Summary: map[string]float64{}}
+						res := &exp.Result{ID: "fuzz/" + string(fam), Summary: map[string]float64{"violations": 0}}
 						if f != nil {
 							res.Summary["violations"] = float64(len(f.Violations))
 						}
 						return res, nil
 					},
 				},
+				Opts:       opts,
 				SweepIndex: i,
 				Name:       fmt.Sprintf("fuzz/%s[%d]", fam, i),
 			})
 		}
 	}
 
-	fleet := &runner.Fleet{Workers: cfg.Workers, Hook: cfg.Hook}
+	fleet := &runner.Fleet{Workers: cfg.Workers, Hook: cfg.Hook, Telemetry: cfg.Telemetry, Store: cfg.Store}
 	results, stats := fleet.Run(jobs)
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("scengen: %s: %w", r.Job.Name, r.Err)
+		}
+	}
+	if cfg.TraceDir != "" {
+		if err := exportTraces(cfg.TraceDir, jobs); err != nil {
+			return nil, err
 		}
 	}
 
@@ -117,15 +155,46 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 	return rep, nil
 }
 
+// exportTraces writes each job's retained flight-recorder events to
+// dir/<family>-<index>.jsonl (the job names contain '/' and brackets, so
+// files are keyed by the family and sweep index instead).
+func exportTraces(dir string, jobs []runner.Job) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range jobs {
+		tr := jobs[i].Opts.Trace
+		if tr == nil {
+			continue
+		}
+		family := strings.TrimPrefix(jobs[i].Def.ID, "fuzz/")
+		path := filepath.Join(dir, fmt.Sprintf("%s-%04d.jsonl", family, jobs[i].SweepIndex))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.ExportJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runOne generates, runs and checks scenario (family, index); seed is the
 // fleet-derived seed (equal to DeriveSeed(fam, index)). A nil Finding means
-// the scenario held every invariant.
-func runOne(fam Family, index int, seed uint64, sched sim.SchedulerKind, crossCheck, minimize bool) (*Finding, error) {
+// the scenario held every invariant. The observation sinks attach to the
+// primary run only: the cross-check re-run compares fingerprints, and
+// observation is contractually invisible to those.
+func runOne(fam Family, index int, seed uint64, sched sim.SchedulerKind, crossCheck, minimize bool, obs Observe) (*Finding, error) {
 	spec, text, err := Generate(fam, seed)
 	if err != nil {
 		return nil, err
 	}
-	o, err := RunSpec(spec, sched)
+	o, err := RunSpecObserved(spec, sched, obs)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s[%d] failed to run: %w\n%s", fam, index, err, text)
 	}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simconfig"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -122,10 +124,26 @@ func stoppedForever(p workload.Pattern, t sim.Time) bool {
 	}
 }
 
+// Observe carries the optional observation sinks for one scenario run.
+// Both are single-goroutine like the engine, so each run needs its own.
+// The zero value observes nothing and costs nothing.
+type Observe struct {
+	Telemetry *telemetry.Registry
+	Trace     *trace.Tracer
+}
+
 // RunSpec builds and runs a parsed spec to its duration under the given
 // scheduler backend and extracts the Outcome. The caller owns spec and may
 // run it again (patterns are stateless observers; nothing is consumed).
 func RunSpec(spec *simconfig.Spec, sched sim.SchedulerKind) (*Outcome, error) {
+	return RunSpecObserved(spec, sched, Observe{})
+}
+
+// RunSpecObserved is RunSpec with counter and flight-recorder sinks
+// attached to every component the scenario builds. Observation never
+// changes the Outcome — fingerprints are bit-identical with or without
+// sinks, which the campaign's cross-check path relies on.
+func RunSpecObserved(spec *simconfig.Spec, sched sim.SchedulerKind, obs Observe) (*Outcome, error) {
 	o := &Outcome{
 		AlgName:  spec.AlgName,
 		Duration: spec.Duration,
@@ -145,6 +163,8 @@ func RunSpec(spec *simconfig.Spec, sched sim.SchedulerKind) (*Outcome, error) {
 	if spec.Graph != nil {
 		cfg := *spec.Graph
 		cfg.Scheduler = sched
+		cfg.Telemetry = obs.Telemetry
+		cfg.Trace = obs.Trace
 		net, err := scenario.BuildGraph(cfg)
 		if err != nil {
 			return nil, err
@@ -181,6 +201,8 @@ func RunSpec(spec *simconfig.Spec, sched sim.SchedulerKind) (*Outcome, error) {
 	} else {
 		cfg := spec.Config
 		cfg.Scheduler = sched
+		cfg.Telemetry = obs.Telemetry
+		cfg.Trace = obs.Trace
 		net, err := scenario.BuildATM(cfg)
 		if err != nil {
 			return nil, err

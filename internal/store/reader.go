@@ -1,0 +1,328 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AnySweep matches every sweep index in a Query.
+const AnySweep = -1
+
+// Query selects blocks and rows. Index-backed fields (Experiment, Name,
+// Component, Sweep) match exactly — exact keys are what the fixed-size
+// slot hashes can pre-filter, so a matching query never decompresses a
+// block it does not need. Substring matching on trace kind/detail stays a
+// post-filter in the consumer (phantom-trace), where the events are
+// already in hand.
+//
+// The zero value matches everything except sweeps: set Sweep to AnySweep
+// (-1) to span a parameter sweep, or >= 0 to pin one point. The window
+// [From, To] is inclusive, with To == 0 meaning unbounded — the same
+// convention as trace.Query.
+type Query struct {
+	Experiment string
+	// Name is the exact series name (KindSeries queries only).
+	Name string
+	// Component is the exact trace component (KindTrace queries only).
+	// Blocks whose events all share one component are skipped on mismatch
+	// without decompression; mixed blocks are scanned and row-filtered.
+	Component string
+	Sweep     int
+	From, To  sim.Time
+}
+
+// matchSlot decides block relevance from the index alone.
+func (q *Query) matchSlot(s *slot, expHash, nameHash, compHash uint64) bool {
+	if q.Experiment != "" && s.expHash != expHash {
+		return false
+	}
+	if q.Sweep >= 0 && s.sweep != uint32(q.Sweep) {
+		return false
+	}
+	if s.tMax < q.From || (q.To != 0 && s.tMin > q.To) {
+		return false
+	}
+	if q.Name != "" && s.kind == KindSeries && s.nameHash != nameHash {
+		return false
+	}
+	if q.Component != "" && s.kind == KindTrace && s.nameHash != 0 && s.nameHash != compHash {
+		return false
+	}
+	return true
+}
+
+// inWindow reports whether t falls in the query's time window.
+func (q *Query) inWindow(t sim.Time) bool {
+	return t >= q.From && (q.To == 0 || t <= q.To)
+}
+
+// ScanStats counts index-level work per kind-matching block: Blocks were
+// considered, BlocksScanned were read + decompressed, BlocksSkipped were
+// rejected from the slot alone. BytesRead is compressed bytes fetched.
+type ScanStats struct {
+	Files         int
+	Blocks        int
+	BlocksScanned int
+	BlocksSkipped int
+	BytesRead     int64
+}
+
+// fileIndex is one campaign file's loaded index.
+type fileIndex struct {
+	path  string
+	slots []slot
+}
+
+// Reader answers queries over a campaign directory by streaming matching
+// blocks from disk — it never loads a whole campaign. A Reader is
+// single-goroutine; its query methods accumulate ScanStats.
+type Reader struct {
+	files []fileIndex
+	stats ScanStats
+}
+
+// Open loads the block indexes (not the blocks) of every sealed campaign
+// file in dir. An empty campaign (no files) is a valid, empty reader.
+func Open(dir string) (*Reader, error) {
+	names, err := campaignFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		fi, err := readIndex(path)
+		if err != nil {
+			return nil, err
+		}
+		r.files = append(r.files, fi)
+	}
+	r.stats.Files = len(r.files)
+	return r, nil
+}
+
+// readIndex loads and validates one file's header + index region.
+func readIndex(path string) (fileIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return fileIndex{}, fmt.Errorf("store: %s: short header: %w", path, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return fileIndex{}, fmt.Errorf("store: %s: bad magic %q", path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return fileIndex{}, fmt.Errorf("store: %s: version %d, want %d", path, v, Version)
+	}
+	slotCount := binary.LittleEndian.Uint32(hdr[8:])
+	used := binary.LittleEndian.Uint32(hdr[12:])
+	sealed := binary.LittleEndian.Uint32(hdr[16:])
+	if sealed != 1 {
+		return fileIndex{}, fmt.Errorf("store: %s: unsealed file (crashed writer?)", path)
+	}
+	if slotCount == 0 || slotCount > 1<<20 || used > slotCount {
+		return fileIndex{}, fmt.Errorf("store: %s: implausible index (%d/%d slots)", path, used, slotCount)
+	}
+	buf := make([]byte, int(used)*slotSize)
+	if _, err := f.ReadAt(buf, headerSize); err != nil {
+		return fileIndex{}, fmt.Errorf("store: %s: short index: %w", path, err)
+	}
+	fi := fileIndex{path: path, slots: make([]slot, used)}
+	dataStart := uint64(headerSize) + uint64(slotCount)*slotSize
+	for i := range fi.slots {
+		fi.slots[i].unmarshal(buf[i*slotSize:])
+		if fi.slots[i].off < dataStart {
+			return fileIndex{}, fmt.Errorf("store: %s: slot %d points into the index region", path, i)
+		}
+	}
+	return fi, nil
+}
+
+// Stats returns the accumulated scan statistics.
+func (r *Reader) Stats() ScanStats { return r.stats }
+
+// ResetStats zeroes the scan counters (Files is preserved).
+func (r *Reader) ResetStats() {
+	files := r.stats.Files
+	r.stats = ScanStats{Files: files}
+}
+
+// readBlock fetches, CRC-checks and decompresses one block.
+func readBlock(f *os.File, path string, i int, s *slot) ([]byte, error) {
+	enc := make([]byte, s.encLen)
+	if _, err := f.ReadAt(enc, int64(s.off)); err != nil {
+		return nil, fmt.Errorf("store: %s: block %d read: %w", path, i, err)
+	}
+	if crc := crc32.ChecksumIEEE(enc); crc != s.crc {
+		return nil, fmt.Errorf("store: %s: block %d CRC mismatch (%08x != %08x): corrupt file", path, i, crc, s.crc)
+	}
+	return decompress(s.comp, enc, int(s.rawLen))
+}
+
+// scan walks every block of the wanted kind, applying the index filter,
+// and hands decompressed payloads to fn in (file, block) order — which is
+// commit order, i.e. run order. Skipped blocks are never read.
+func (r *Reader) scan(kind Kind, q Query, fn func(s *slot, raw []byte) error) error {
+	expHash := hashStr(q.Experiment)
+	nameHash := hashStr(q.Name)
+	compHash := hashStr(q.Component)
+	for fi := range r.files {
+		file := &r.files[fi]
+		var f *os.File
+		for i := range file.slots {
+			s := &file.slots[i]
+			if s.kind != kind {
+				continue
+			}
+			r.stats.Blocks++
+			if !q.matchSlot(s, expHash, nameHash, compHash) {
+				r.stats.BlocksSkipped++
+				continue
+			}
+			if f == nil {
+				var err error
+				if f, err = os.Open(file.path); err != nil {
+					return err
+				}
+				defer f.Close()
+			}
+			raw, err := readBlock(f, file.path, i, s)
+			if err != nil {
+				return err
+			}
+			r.stats.BlocksScanned++
+			r.stats.BytesRead += int64(s.encLen)
+			if err := fn(s, raw); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SeriesChunk is one delivered run of series points: a block's rows after
+// row-level window filtering. A long series arrives as several chunks in
+// time order.
+type SeriesChunk struct {
+	Experiment string
+	Sweep      int
+	Name       string
+	Points     []metrics.Point
+}
+
+// Series streams matching series points. Chunks arrive in run order, and
+// within a run in time order.
+func (r *Reader) Series(q Query, fn func(SeriesChunk) error) error {
+	return r.scan(KindSeries, q, func(s *slot, raw []byte) error {
+		exp, name, pts, err := decodeSeriesBlock(raw, int(s.rows))
+		if err != nil {
+			return err
+		}
+		// Re-verify the exact strings the slot only hashed.
+		if (q.Experiment != "" && exp != q.Experiment) || (q.Name != "" && name != q.Name) {
+			return nil
+		}
+		out := pts[:0]
+		for _, p := range pts {
+			if q.inWindow(p.T) {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return fn(SeriesChunk{Experiment: exp, Sweep: int(s.sweep), Name: name, Points: out})
+	})
+}
+
+// RunCounters is one run's telemetry snapshot.
+type RunCounters struct {
+	Experiment string
+	Sweep      int
+	At         sim.Time
+	Counters   map[string]uint64
+}
+
+// Counters streams matching telemetry snapshots in run order.
+func (r *Reader) Counters(q Query, fn func(RunCounters) error) error {
+	return r.scan(KindCounters, q, func(s *slot, raw []byte) error {
+		exp, snap, err := decodeCountersBlock(raw, int(s.rows))
+		if err != nil {
+			return err
+		}
+		if q.Experiment != "" && exp != q.Experiment {
+			return nil
+		}
+		return fn(RunCounters{Experiment: exp, Sweep: int(s.sweep), At: s.tMin, Counters: snap})
+	})
+}
+
+// RunSummary is one run's scalar summary metrics.
+type RunSummary struct {
+	Experiment string
+	Sweep      int
+	At         sim.Time
+	Summary    map[string]float64
+}
+
+// Summaries streams matching run summaries in run order.
+func (r *Reader) Summaries(q Query, fn func(RunSummary) error) error {
+	return r.scan(KindSummary, q, func(s *slot, raw []byte) error {
+		exp, summary, err := decodeSummaryBlock(raw, int(s.rows))
+		if err != nil {
+			return err
+		}
+		if q.Experiment != "" && exp != q.Experiment {
+			return nil
+		}
+		return fn(RunSummary{Experiment: exp, Sweep: int(s.sweep), At: s.tMin, Summary: summary})
+	})
+}
+
+// TraceChunk is one delivered run of trace events after row filtering.
+type TraceChunk struct {
+	Experiment string
+	Sweep      int
+	Events     []trace.Event
+}
+
+// Trace streams matching flight-recorder events in run order (within a
+// run: chronological). Kind/detail substring filtering is left to the
+// caller (trace.SelectEvents); the store filters what its index knows:
+// experiment, sweep, component, window.
+func (r *Reader) Trace(q Query, fn func(TraceChunk) error) error {
+	return r.scan(KindTrace, q, func(s *slot, raw []byte) error {
+		exp, events, err := decodeTraceBlock(raw, int(s.rows))
+		if err != nil {
+			return err
+		}
+		if q.Experiment != "" && exp != q.Experiment {
+			return nil
+		}
+		out := events[:0]
+		for i := range events {
+			if !q.inWindow(events[i].T) {
+				continue
+			}
+			if q.Component != "" && events[i].Component != q.Component {
+				continue
+			}
+			out = append(out, events[i])
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return fn(TraceChunk{Experiment: exp, Sweep: int(s.sweep), Events: out})
+	})
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Segment is one run's worth of blocks, built and compressed on the worker
+// that ran the job — the expensive half of ingestion happens in parallel,
+// off the writer's critical section. A Segment belongs to one goroutine;
+// hand it to Writer.Commit (or Append) exactly once.
+type Segment struct {
+	meta RunMeta
+	opts Options
+	// blocks in append order. The order is deterministic: callers add in a
+	// fixed sequence and each Add* splits rows in row order.
+	blocks []encBlock
+	err    error
+}
+
+// Meta returns the run identity the segment was created with.
+func (s *Segment) Meta() RunMeta { return s.meta }
+
+// Blocks returns the number of sealed blocks.
+func (s *Segment) Blocks() int { return len(s.blocks) }
+
+// Err returns the first encoding error (sticky; Commit refuses a segment
+// with a pending error).
+func (s *Segment) Err() error { return s.err }
+
+// push seals raw into a block and appends it.
+func (s *Segment) push(sl slot, raw []byte) {
+	if s.err != nil {
+		return
+	}
+	sl.expHash = hashStr(s.meta.Experiment)
+	sl.sweep = uint32(s.meta.Sweep)
+	b, err := seal(sl, s.opts.Compression, raw)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.blocks = append(s.blocks, b)
+}
+
+// AddSeries appends a named series' points, split into blocks of at most
+// Options.BlockRows so time-window queries can skip within the series. An
+// empty series adds nothing.
+func (s *Segment) AddSeries(name string, pts []metrics.Point) {
+	for len(pts) > 0 && s.err == nil {
+		n := len(pts)
+		if n > s.opts.BlockRows {
+			n = s.opts.BlockRows
+		}
+		chunk := pts[:n]
+		sl := slot{
+			kind:     KindSeries,
+			rows:     uint32(n),
+			nameHash: hashStr(name),
+			tMin:     chunk[0].T,
+			tMax:     chunk[n-1].T,
+		}
+		s.push(sl, encodeSeriesBlock(s.meta, name, chunk))
+		pts = pts[n:]
+	}
+}
+
+// AddCounters appends the run's telemetry snapshot as one block stamped at
+// the run's end time. Rows are sorted by name, so bytes do not depend on
+// map iteration order. A nil or empty snapshot adds nothing.
+func (s *Segment) AddCounters(snap map[string]uint64) {
+	if len(snap) == 0 || s.err != nil {
+		return
+	}
+	names := sortedKeys(snap)
+	sl := slot{
+		kind: KindCounters,
+		rows: uint32(len(names)),
+		tMin: s.meta.End,
+		tMax: s.meta.End,
+	}
+	s.push(sl, encodeCountersBlock(s.meta, names, snap))
+}
+
+// AddSummary appends the run's scalar summary metrics as one block stamped
+// at the run's end time, rows sorted by name.
+func (s *Segment) AddSummary(summary map[string]float64) {
+	if len(summary) == 0 || s.err != nil {
+		return
+	}
+	names := sortedKeys(summary)
+	sl := slot{
+		kind: KindSummary,
+		rows: uint32(len(names)),
+		tMin: s.meta.End,
+		tMax: s.meta.End,
+	}
+	s.push(sl, encodeSummaryBlock(s.meta, names, summary))
+}
+
+// AddTrace appends flight-recorder events (chronological, as
+// Tracer.Events returns them), split into blocks of at most
+// Options.BlockRows. When every event in a block shares one component the
+// slot is keyed by it, so component-filtered queries skip single-component
+// blocks without decompressing; mixed blocks get nameHash 0 (never
+// skipped by a component filter).
+func (s *Segment) AddTrace(events []trace.Event) {
+	for len(events) > 0 && s.err == nil {
+		n := len(events)
+		if n > s.opts.BlockRows {
+			n = s.opts.BlockRows
+		}
+		chunk := events[:n]
+		sl := slot{
+			kind: KindTrace,
+			rows: uint32(n),
+			tMin: chunk[0].T,
+			tMax: chunk[n-1].T,
+		}
+		single := chunk[0].Component
+		for i := 1; i < n && single != ""; i++ {
+			if chunk[i].Component != single {
+				single = ""
+			}
+		}
+		if single != "" {
+			sl.nameHash = hashStr(single)
+		}
+		s.push(sl, encodeTraceBlock(s.meta, chunk))
+		events = events[n:]
+	}
+}

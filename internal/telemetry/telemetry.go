@@ -33,6 +33,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -55,11 +56,13 @@ type entry struct {
 type Registry struct {
 	byName  map[string]*entry
 	entries []*entry // registration-ordered; Snapshot sorts by name
+	hists   []*histogram
+	histBy  map[string]*histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{byName: make(map[string]*entry)}
+	return &Registry{byName: make(map[string]*entry), histBy: make(map[string]*histogram)}
 }
 
 // resolve returns the entry for name, creating it on first use.
@@ -146,16 +149,119 @@ func (g Gauge) Value() uint64 {
 	return g.e.v
 }
 
+// HistBuckets is the fixed number of log2 buckets a Histogram carries.
+// Bucket 0 holds exact zeros; bucket i holds values in [2^(i-1), 2^i);
+// the last bucket also absorbs everything larger. 40 buckets span a
+// queue depth of one cell to a latency of ~9 simulated minutes in
+// nanoseconds — everything this simulator measures.
+const HistBuckets = 40
+
+// histogram is the shared accumulator behind Histogram handles: a fixed
+// bucket array, recorded into with one shift and one add.
+type histogram struct {
+	name   string
+	counts [HistBuckets]uint64
+}
+
+// Histogram returns a pre-resolved handle for a log2-bucketed value
+// distribution (queue depths, latencies). Like Counter, one name shares
+// one accumulator across instances, and a nil registry returns the inert
+// zero handle. The distribution surfaces in Snapshot as one plain counter
+// per non-empty bucket, named "<name>.bNN" — sum-merged across runs like
+// any counter, persisted and rendered with zero new plumbing.
+func (r *Registry) Histogram(name string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	if strings.HasSuffix(name, PeakSuffix) {
+		panic(fmt.Sprintf("telemetry: histogram %q uses the gauge suffix %q", name, PeakSuffix))
+	}
+	if h, ok := r.histBy[name]; ok {
+		return Histogram{h: h}
+	}
+	h := &histogram{name: name}
+	r.histBy[name] = h
+	r.hists = append(r.hists, h)
+	return Histogram{h: h}
+}
+
+// Histogram is a handle to a log2-bucketed distribution. The zero value is
+// inert.
+type Histogram struct{ h *histogram }
+
+// Observe records v into its log2 bucket: one bits.Len64 and one add, no
+// branches on the bucket boundaries.
+func (h Histogram) Observe(v uint64) {
+	if h.h != nil {
+		h.h.counts[BucketIndex(v)]++
+	}
+}
+
+// Active reports whether the handle records anywhere. Emitters that must
+// compute the observed value (a latency subtraction, a ring scan) gate on
+// this so a telemetry-off run skips the computation, not just the store.
+func (h Histogram) Active() bool { return h.h != nil }
+
+// Count returns the histogram's total number of observations.
+func (h Histogram) Count() uint64 {
+	if h.h == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range h.h.counts {
+		n += c
+	}
+	return n
+}
+
+// BucketIndex maps a value to its log2 bucket.
+func BucketIndex(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i (its lower
+// bound is the previous bucket's upper bound; bucket 0 is exactly zero).
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return ^uint64(0)
+	}
+	return 1 << uint(i)
+}
+
+// BucketName formats the snapshot key of bucket i of a histogram.
+func BucketName(name string, i int) string {
+	return fmt.Sprintf("%s.b%02d", name, i)
+}
+
 // Snapshot copies the registry into a plain name→value map. A nil registry
 // snapshots to nil. The copy is detached: later increments do not show
 // through, which is what makes snapshots safe to merge across goroutines.
+// Histograms contribute one entry per non-empty bucket; empty buckets are
+// omitted (which buckets fill is as deterministic as the counts in them).
 func (r *Registry) Snapshot() map[string]uint64 {
-	if r == nil || len(r.entries) == 0 {
+	if r == nil || (len(r.entries) == 0 && len(r.hists) == 0) {
 		return nil
 	}
 	out := make(map[string]uint64, len(r.entries))
 	for _, e := range r.entries {
 		out[e.name] = e.v
+	}
+	for _, h := range r.hists {
+		for i, c := range h.counts {
+			if c != 0 {
+				out[BucketName(h.name, i)] = c
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -169,6 +275,9 @@ func (r *Registry) Reset() {
 	}
 	for _, e := range r.entries {
 		e.v = 0
+	}
+	for _, h := range r.hists {
+		h.counts = [HistBuckets]uint64{}
 	}
 }
 

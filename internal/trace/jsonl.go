@@ -3,7 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
 
 	"repro/internal/sim"
@@ -41,13 +40,13 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		for _, f := range e.Fields() {
 			jf := jsonField{K: f.Key}
 			switch f.kind {
-			case fieldInt:
+			case FieldInt:
 				v := f.i
 				jf.I = &v
-			case fieldFloat:
+			case FieldFloat:
 				v := f.f
 				jf.F = &v
-			case fieldStr:
+			case FieldStr:
 				v := f.s
 				jf.S = &v
 			}
@@ -66,26 +65,30 @@ func (tr *Tracer) ExportJSONL(w io.Writer) error {
 }
 
 // ReadJSONL parses a JSONL export back into events. Blank lines are
-// skipped; a malformed line fails with its line number.
-func ReadJSONL(r io.Reader) ([]Event, error) {
+// ignored; malformed lines (bad JSON, too many fields) are skipped and
+// counted rather than aborting the read — a truncated or interleaved
+// export should still yield every intact event, with the damage surfaced
+// as the skipped count. Only an I/O error fails the call.
+func ReadJSONL(r io.Reader) ([]Event, int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var out []Event
-	line := 0
+	skipped := 0
 	for sc.Scan() {
-		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
 		var je jsonEvent
 		if err := json.Unmarshal(raw, &je); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			skipped++
+			continue
+		}
+		if len(je.Fields) > MaxFields {
+			skipped++
+			continue
 		}
 		e := Event{T: sim.Time(je.T), Component: je.Component, Kind: je.Kind}
-		if len(je.Fields) > MaxFields {
-			return nil, fmt.Errorf("trace: line %d: %d fields exceeds max %d", line, len(je.Fields), MaxFields)
-		}
 		for i, jf := range je.Fields {
 			switch {
 			case jf.I != nil:
@@ -102,7 +105,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return out, skipped, err
 	}
-	return out, nil
+	return out, skipped, nil
 }

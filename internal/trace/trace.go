@@ -31,47 +31,61 @@ import (
 // extras rather than allocating.
 const MaxFields = 4
 
-// fieldKind discriminates the value slot a Field uses.
-type fieldKind uint8
+// FieldKind discriminates the value slot a Field uses. Exported so
+// re-serializers (the JSONL codec here, the columnar store) can switch on
+// it without reflection.
+type FieldKind uint8
 
 const (
-	fieldNone fieldKind = iota
-	fieldInt
-	fieldFloat
-	fieldStr
+	FieldNone FieldKind = iota
+	FieldInt
+	FieldFloat
+	FieldStr
 )
 
 // Field is one typed key/value attached to an event. Construct with I, F
 // or S; the zero Field is empty and ignored.
 type Field struct {
 	Key  string
-	kind fieldKind
+	kind FieldKind
 	i    int64
 	f    float64
 	s    string
 }
 
 // I returns an integer field.
-func I(key string, v int64) Field { return Field{Key: key, kind: fieldInt, i: v} }
+func I(key string, v int64) Field { return Field{Key: key, kind: FieldInt, i: v} }
 
 // F returns a float field.
-func F(key string, v float64) Field { return Field{Key: key, kind: fieldFloat, f: v} }
+func F(key string, v float64) Field { return Field{Key: key, kind: FieldFloat, f: v} }
 
 // S returns a string field. The string should be a static or interned name
 // (a component, a pattern kind) — building one per emit would reintroduce
 // the allocation Emit exists to avoid.
-func S(key, v string) Field { return Field{Key: key, kind: fieldStr, s: v} }
+func S(key, v string) Field { return Field{Key: key, kind: FieldStr, s: v} }
+
+// Kind returns the field's type tag.
+func (f Field) Kind() FieldKind { return f.kind }
+
+// Int returns the integer value (zero unless Kind is FieldInt).
+func (f Field) Int() int64 { return f.i }
+
+// Float returns the float value (zero unless Kind is FieldFloat).
+func (f Field) Float() float64 { return f.f }
+
+// Str returns the string value (empty unless Kind is FieldStr).
+func (f Field) Str() string { return f.s }
 
 // append renders the field as key=value onto b.
 func (f Field) append(b []byte) []byte {
 	b = append(b, f.Key...)
 	b = append(b, '=')
 	switch f.kind {
-	case fieldInt:
+	case FieldInt:
 		b = strconv.AppendInt(b, f.i, 10)
-	case fieldFloat:
+	case FieldFloat:
 		b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
-	case fieldStr:
+	case FieldStr:
 		b = append(b, f.s...)
 	}
 	return b
@@ -89,6 +103,20 @@ type Event struct {
 
 // Fields returns the event's typed fields.
 func (e *Event) Fields() []Field { return e.fields[:e.nf] }
+
+// NewEvent builds an event outside a tracer — the constructor for
+// deserializers (JSONL import, columnar store) that rebuild events from
+// persisted form. Fields beyond MaxFields are dropped, mirroring Emit.
+func NewEvent(t sim.Time, component, kind string, fields ...Field) Event {
+	e := Event{T: t, Component: component, Kind: kind}
+	n := len(fields)
+	if n > MaxFields {
+		n = MaxFields
+	}
+	copy(e.fields[:n], fields[:n])
+	e.nf = uint8(n)
+	return e
+}
 
 // Detail formats the fields as "k=v k=v". It allocates; call it on read
 // paths only.

@@ -208,9 +208,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if got := strings.Count(b.String(), "\n"); got != 3 {
 		t.Fatalf("exported %d lines, want 3", got)
 	}
-	back, err := ReadJSONL(strings.NewReader(b.String()))
+	back, skipped, err := ReadJSONL(strings.NewReader(b.String()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean export skipped %d lines", skipped)
 	}
 	if !reflect.DeepEqual(back, tr.Events()) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tr.Events())
@@ -221,12 +224,27 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadJSONLErrors(t *testing.T) {
-	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
-		t.Fatal("want parse error")
+func TestReadJSONLSkipsMalformed(t *testing.T) {
+	// A truncated line, an over-long field list and blank lines must not
+	// cost the intact events around them: skip-with-count, never abort.
+	input := "not json\n" +
+		"\n" +
+		`{"t":1,"component":"c","kind":"ok"}` + "\n" +
+		`{"t":2,"component":"c","kind":"big","fields":[{"k":"a","i":1},{"k":"b","i":2},{"k":"c","i":3},{"k":"d","i":4},{"k":"e","i":5}]}` + "\n" +
+		`{"t":3,"component":"c","kind":"also-ok"}` + "\n"
+	evs, skipped, err := ReadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
 	}
-	evs, err := ReadJSONL(strings.NewReader("\n\n"))
-	if err != nil || len(evs) != 0 {
-		t.Fatalf("blank lines: %v, %v", evs, err)
+	if skipped != 2 {
+		t.Fatalf("skipped %d lines, want 2", skipped)
+	}
+	if len(evs) != 2 || evs[0].Kind != "ok" || evs[1].Kind != "also-ok" {
+		t.Fatalf("kept events: %+v", evs)
+	}
+
+	evs, skipped, err = ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || skipped != 0 || len(evs) != 0 {
+		t.Fatalf("blank lines: %v, %d, %v", evs, skipped, err)
 	}
 }
