@@ -15,21 +15,32 @@
 //	phantom-fuzz -n 50 -crosscheck       # also diff heap vs wheel runs
 //	phantom-fuzz -n 200 -minimize -freeze testdata/fuzz-regressions
 //	phantom-fuzz -n 100 -telemetry -store out/fuzzdb  # persist every run
+//	phantom-fuzz -n 500 -submit :8080    # run the campaign on a daemon
+//
+// The campaign is described by the same api.JobSpec the daemon speaks:
+// -submit POSTs it to a phantom-serve instance and streams results back
+// (violations included); determinism makes the remote findings identical
+// to a local run's. -freeze and -minimize reproducer texts stay local-only
+// (the wire carries violation strings, not scenario sources).
 //
 // With -telemetry the fleet's merged counter totals print after the
 // campaign summary. With -store every scenario's summary, counter
 // snapshot, and retained trace events land in a phantomdb campaign
-// directory; -trace-dir additionally exports per-scenario JSONL.
+// directory; -trace-dir additionally exports per-scenario JSONL. -json
+// emits the schema-v3 api.Report.
 //
 // Exit status is 1 when any scenario violated an invariant.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/api"
 	"repro/internal/cli"
+	"repro/internal/runner"
 	"repro/internal/scengen"
 	"repro/internal/sim"
 	"repro/internal/simconfig"
@@ -38,7 +49,8 @@ import (
 
 func main() {
 	c := cli.New("phantom-fuzz",
-		cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
+		cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagJSON|cli.FlagProfile|
+			cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagHTTP|cli.FlagSubmit)
 	n := flag.Int("n", 100, "scenarios per family")
 	familyName := flag.String("family", "", "restrict to one family (default all): parkinglot, fattree, waxman, flashcrowd, webmix, transient")
 	seedFlag := flag.Uint64("seed", 0, "replay exactly one scenario with this seed (requires -family)")
@@ -47,20 +59,18 @@ func main() {
 	crossCheck := flag.Bool("crosscheck", false, "run every scenario on both scheduler backends and compare")
 	c.Parse()
 
-	var families []scengen.Family
-	if *familyName != "" {
-		f, err := scengen.ParseFamily(*familyName)
+	if *seedFlag != 0 {
+		if *familyName == "" {
+			c.Fatal(fmt.Errorf("-seed needs -family to pick the generator"))
+		}
+		if c.Submit != "" {
+			c.Fatal(fmt.Errorf("-seed replay is local-only (drop -submit)"))
+		}
+		fam, err := scengen.ParseFamily(*familyName)
 		if err != nil {
 			c.Fatal(err)
 		}
-		families = []scengen.Family{f}
-	}
-
-	if *seedFlag != 0 {
-		if len(families) != 1 {
-			c.Fatal(fmt.Errorf("-seed needs -family to pick the generator"))
-		}
-		clean, err := replayOne(c, families[0], *seedFlag, *minimize, *freezeDir)
+		clean, err := replayOne(c, fam, *seedFlag, *minimize, *freezeDir)
 		if err != nil {
 			c.Fatal(err)
 		}
@@ -71,54 +81,177 @@ func main() {
 		return
 	}
 
-	sw, err := c.OpenStore()
-	if err != nil {
-		c.Fatal(err)
+	spec := api.JobSpec{
+		SchemaVersion: api.SchemaVersion,
+		Kind:          api.KindFuzz,
+		Fuzz:          &api.FuzzSpec{N: *n, CrossCheck: *crossCheck, Minimize: *minimize},
+		Workers:       c.Workers,
+		Scheduler:     string(c.Scheduler),
+		Telemetry:     c.Telemetry,
 	}
-	rep, err := scengen.RunCampaign(scengen.CampaignConfig{
-		Families:   families,
-		N:          *n,
-		Workers:    c.Workers,
-		Scheduler:  c.Scheduler,
-		CrossCheck: *crossCheck,
-		Minimize:   *minimize,
-		Telemetry:  c.Telemetry,
-		TraceDir:   c.TraceDir,
-		Store:      sw,
-	})
-	if err != nil {
-		if sw != nil {
-			sw.Close()
-		}
-		c.Fatal(err)
+	if *familyName != "" {
+		spec.Fuzz.Families = []string{*familyName}
 	}
-	if sw != nil {
-		if err := sw.Close(); err != nil {
-			c.Fatal(err)
-		}
-	}
-	fmt.Print(rep.Summary())
-	if !c.Quiet {
-		fmt.Printf("wall %v, %.1fx parallel speedup\n",
-			rep.Stats.Wall.Round(1000000), float64(rep.Stats.WorkWall)/float64(rep.Stats.Wall))
-	}
-	if len(rep.Stats.Counters) > 0 && !c.Quiet {
-		fmt.Println("\nfleet counter totals:")
-		telemetry.WriteText(os.Stdout, rep.Stats.Counters, "  ")
-	}
-	if *freezeDir != "" {
-		for i := range rep.Findings {
-			path, err := scengen.Freeze(&rep.Findings[i], *freezeDir)
-			if err != nil {
-				c.Fatal(err)
-			}
-			fmt.Printf("froze %s\n", path)
-		}
+
+	var code int
+	if c.Submit != "" {
+		code = runRemote(c, spec, *freezeDir)
+	} else {
+		code = runLocal(c, spec, *freezeDir)
 	}
 	c.Close()
-	if len(rep.Findings) > 0 {
-		os.Exit(1)
+	os.Exit(code)
+}
+
+// runLocal expands the campaign onto this process's own fleet: the same
+// path the daemon takes, plus the local-only sinks (freeze dir, trace
+// export, -store).
+func runLocal(c *cli.Common, spec api.JobSpec, freezeDir string) int {
+	expn, err := api.Expand(spec, api.Env{
+		Scheduler:    c.Scheduler,
+		Trace:        c.TraceDir != "" || c.StoreDir != "",
+		TraceRingCap: cli.TraceRingCap,
+		TraceDir:     c.TraceDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+		return 2
 	}
+	sw, err := c.OpenStore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+		return 2
+	}
+	fleet := &runner.Fleet{Workers: c.Workers, Telemetry: c.Telemetry, Store: sw}
+	if c.HTTPAddr != "" {
+		state := cli.NewLiveState(len(expn.Jobs))
+		cli.AttachLive(fleet, state)
+		stop, err := cli.ServeLive(c.HTTPAddr, state)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-fuzz: -http:", err)
+			return 2
+		}
+		defer stop()
+	}
+	results, stats := fleet.Run(expn.Jobs)
+	if sw != nil {
+		if err := sw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+			return 2
+		}
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "phantom-fuzz: %s: %v\n", r.Job.Name, r.Err)
+			return 2
+		}
+	}
+	rep, err := expn.Finish(results, stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+		return 2
+	}
+	findings := expn.Findings()
+
+	if c.JSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+	} else {
+		crep := scengen.CampaignReport{Scenarios: len(results), Findings: findings, Stats: stats}
+		fmt.Print(crep.Summary())
+		if !c.Quiet {
+			fmt.Printf("wall %v, %.1fx parallel speedup\n",
+				stats.Wall.Round(1000000), float64(stats.WorkWall)/float64(stats.Wall))
+		}
+		if len(stats.Counters) > 0 && !c.Quiet {
+			fmt.Println("\nfleet counter totals:")
+			telemetry.WriteText(os.Stdout, stats.Counters, "  ")
+		}
+	}
+	if freezeDir != "" {
+		for i := range findings {
+			path, err := scengen.Freeze(&findings[i], freezeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+				return 2
+			}
+			if !c.JSON {
+				fmt.Printf("froze %s\n", path)
+			}
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runRemote submits the campaign to a phantom-serve daemon and streams the
+// results back. Findings arrive as violation strings on the run results.
+func runRemote(c *cli.Common, spec api.JobSpec, freezeDir string) int {
+	if freezeDir != "" || c.StoreDir != "" || c.TraceDir != "" {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz: -freeze, -store and -trace-dir are local sinks; drop them with -submit (the daemon persists runs under its own -data root)")
+		return 2
+	}
+	client := api.NewClient(c.Submit)
+	st, err := client.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+		return 2
+	}
+	if !c.JSON {
+		fmt.Fprintf(os.Stderr, "submitted %s (%d scenarios) to %s\n", st.ID, st.Total, client.Base)
+	}
+	var results []api.RunResult
+	rep, err := client.Results(st.ID, func(rr api.RunResult) {
+		results = append(results, rr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+		return 2
+	}
+	rep.Results = results
+
+	bad := 0
+	for _, rr := range results {
+		if len(rr.Violations) > 0 || rr.Error != "" || rr.Canceled {
+			bad++
+		}
+	}
+	if c.JSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-fuzz:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("%d scenarios, %d findings\n", len(results), bad)
+		for _, rr := range results {
+			switch {
+			case rr.Error != "":
+				fmt.Printf("%s seed=%d: ERROR %s\n", rr.ID, rr.Seed, rr.Error)
+			case rr.Canceled:
+				fmt.Printf("%s seed=%d: canceled\n", rr.ID, rr.Seed)
+			case len(rr.Violations) > 0:
+				fmt.Printf("%s seed=%d:\n", rr.ID, rr.Seed)
+				for _, v := range rr.Violations {
+					fmt.Printf("  %s\n", v)
+				}
+			}
+		}
+		if rep.Job != nil && rep.Job.Store != "" && !c.Quiet {
+			fmt.Printf("daemon store: %s\n", rep.Job.Store)
+		}
+	}
+	if bad > 0 || (rep.Job != nil && rep.Job.State != api.JobDone) {
+		return 1
+	}
+	return 0
 }
 
 // replayOne generates and checks a single (family, seed) scenario,

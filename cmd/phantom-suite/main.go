@@ -12,13 +12,14 @@
 //	-duration d     override every experiment's simulated duration
 //	-quick          use the reduced-duration profile (the golden baseline
 //	                profile; also what the benchmarks use)
+//	-sweep N        run each matched experiment at N seeded sweep points
 //	-scheduler s    engine calendar backend, heap (default) or wheel;
 //	                results are bit-identical either way, so golden
 //	                comparison still applies
 //	-golden dir     golden directory (default testdata/golden)
 //	-update-golden  rewrite the golden baselines from this run
 //	-telemetry      give every job a counter registry; report per-experiment
-//	                counters and fleet totals (text and -json schema v2)
+//	                counters and fleet totals
 //	-trace-dir d    keep a flight recorder per job and export each job's
 //	                retained events to d/<id>.jsonl
 //	-store d        append every run's results (summary metrics, counters
@@ -26,9 +27,19 @@
 //	                campaign directory d; query it with phantom-trace -store
 //	-http addr      serve live fleet progress while the suite runs:
 //	                /status (JSON) and /metrics (Prometheus text)
-//	-json           machine-readable output
+//	-submit addr    send the suite as a job to a phantom-serve daemon and
+//	                stream the results back instead of running locally;
+//	                golden comparison still happens here, against the local
+//	                golden directory
+//	-json           machine-readable output (the schema-v3 api.Report)
 //	-list           list matching experiments and exit
 //	-v              print each experiment's notes
+//
+// The same api.JobSpec drives both paths: locally it expands onto this
+// process's fleet, remotely it is POSTed to /v1/jobs verbatim. Results are
+// bit-identical either way (seeds derive from experiment ID and sweep
+// index), which is why remote runs can still be checked against local
+// goldens.
 //
 // The suite exits non-zero when any experiment fails or any metric drifts
 // beyond its tolerance from the golden baseline. Baselines are recorded at a
@@ -43,343 +54,101 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
-	"regexp"
 	"sort"
-	"sync"
-	"time"
 
+	"repro/internal/api"
 	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
-	"repro/internal/store"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
 )
-
-type suiteConfig struct {
-	filter       *regexp.Regexp
-	workers      int
-	duration     sim.Duration
-	quick        bool
-	scheduler    sim.SchedulerKind
-	goldenDir    string
-	updateGolden bool
-	telemetry    bool
-	traceDir     string
-	storeDir     string
-	httpAddr     string
-	jsonOut      bool
-	list         bool
-	verbose      bool
-}
 
 func main() {
 	c := cli.New("phantom-suite",
-		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
+		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|
+			cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagHTTP|cli.FlagSubmit)
 	var (
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
-		httpAddr     = flag.String("http", "", "serve live fleet progress and counters on this address (e.g. :8080)")
+		sweep        = flag.Int("sweep", 0, "run each matched experiment at this many seeded sweep points")
 		list         = flag.Bool("list", false, "list matching experiments and exit")
 		verbose      = flag.Bool("v", false, "print experiment notes")
 	)
 	c.Parse()
-
-	cfg := suiteConfig{
-		filter: c.FilterRegexp(), workers: c.Workers,
-		duration: sim.Duration(c.Duration), quick: c.Quick, scheduler: c.Scheduler,
-		goldenDir: *goldenDir, updateGolden: *updateGolden,
-		telemetry: c.Telemetry, traceDir: c.TraceDir, storeDir: c.StoreDir, httpAddr: *httpAddr,
-		jsonOut: c.JSON, list: *list, verbose: *verbose,
-	}
-	code := run(cfg)
+	code := run(c, *goldenDir, *updateGolden, *sweep, *list, *verbose)
 	c.Close()
 	os.Exit(code)
 }
 
-// liveState is the mutable fleet view behind -http. The hook and OnResult
-// callbacks run on worker goroutines, so every access locks; handlers read
-// a consistent snapshot under the same lock.
-type liveState struct {
-	mu       sync.Mutex
-	start    time.Time
-	total    int
-	running  map[string]bool
-	done     int
-	failed   int
-	counters map[string]uint64
-}
-
-func newLiveState(total int) *liveState {
-	return &liveState{
-		start:    time.Now(),
-		total:    total,
-		running:  make(map[string]bool),
-		counters: make(map[string]uint64),
-	}
-}
-
-func (s *liveState) hook(id string, phase exp.Phase, _ error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch phase {
-	case exp.PhaseStart:
-		s.running[id] = true
-	case exp.PhaseDone, exp.PhaseFailed:
-		delete(s.running, id)
-	}
-}
-
-func (s *liveState) onResult(r runner.Result) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.done++
-	if r.Err != nil {
-		s.failed++
-	}
-	if r.Res != nil {
-		telemetry.Merge(s.counters, r.Res.Counters)
-	}
-}
-
-// snapshot returns a detached copy for a handler to render lock-free.
-func (s *liveState) snapshot() (running []string, done, failed, total int, counters map[string]uint64, elapsed time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id := range s.running {
-		running = append(running, id)
-	}
-	sort.Strings(running)
-	counters = make(map[string]uint64, len(s.counters))
-	for k, v := range s.counters {
-		counters[k] = v
-	}
-	return running, s.done, s.failed, s.total, counters, time.Since(s.start)
-}
-
-// serveLive starts the -http listener and returns a closer. Handlers:
-// /status (JSON progress + merged counters) and /metrics (Prometheus text).
-func serveLive(addr string, state *liveState) (func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		running, done, failed, total, counters, elapsed := state.snapshot()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			SchemaVersion int               `json:"schema_version"`
-			Total         int               `json:"total"`
-			Done          int               `json:"done"`
-			Failed        int               `json:"failed"`
-			Running       []string          `json:"running"`
-			ElapsedMS     float64           `json:"elapsed_ms"`
-			Counters      map[string]uint64 `json:"counters,omitempty"`
-		}{exp.SchemaVersion, total, done, failed, running,
-			float64(elapsed) / float64(time.Millisecond), counters})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		running, done, failed, total, counters, _ := state.snapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# TYPE phantom_suite_jobs untyped\n")
-		fmt.Fprintf(w, "phantom_suite_jobs{state=\"total\"} %d\n", total)
-		fmt.Fprintf(w, "phantom_suite_jobs{state=\"done\"} %d\n", done)
-		fmt.Fprintf(w, "phantom_suite_jobs{state=\"failed\"} %d\n", failed)
-		fmt.Fprintf(w, "phantom_suite_jobs{state=\"running\"} %d\n", len(running))
-		telemetry.WriteProm(w, counters, nil)
-	})
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return func() { srv.Close() }, nil
-}
-
-func run(cfg suiteConfig) int {
-	var defs []exp.Definition
-	exp.Walk(func(d exp.Definition) bool {
-		if cfg.filter.MatchString(d.ID) {
-			defs = append(defs, d)
-		}
-		return true
-	})
-	if len(defs) == 0 {
-		fmt.Fprintln(os.Stderr, "phantom-suite: no experiments match the filter")
-		return 2
-	}
-	if cfg.list {
-		for _, d := range defs {
-			fmt.Printf("%s  %-18s  %s\n", d.ID, d.PaperRef, d.Title)
+func run(c *cli.Common, goldenDir string, updateGolden bool, sweep int, list, verbose bool) int {
+	if list {
+		re := c.FilterRegexp()
+		n := 0
+		exp.Walk(func(d exp.Definition) bool {
+			if re.MatchString(d.ID) {
+				fmt.Printf("%s  %-18s  %s\n", d.ID, d.PaperRef, d.Title)
+				n++
+			}
+			return true
+		})
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "phantom-suite: no experiments match the filter")
+			return 2
 		}
 		return 0
 	}
 
-	jobs := make([]runner.Job, len(defs))
-	var tracers []*trace.Tracer
-	if cfg.traceDir != "" || cfg.storeDir != "" {
-		// The store persists trace events too, so -store alone keeps a
-		// flight recorder per job; JSONL files are only written for
-		// -trace-dir. Tracing never alters results either way.
-		tracers = make([]*trace.Tracer, len(defs))
-	}
-	for i, d := range defs {
-		o := exp.Options{Quiet: true, Duration: cfg.duration, Scheduler: cfg.scheduler}
-		if cfg.quick && o.Duration == 0 {
-			o.Duration = runner.QuickDuration(d.ID)
-		}
-		if tracers != nil {
-			// One flight recorder per job: tracers, like engines and
-			// registries, are single-goroutine.
-			tracers[i] = trace.New(cli.TraceRingCap)
-			o.Trace = tracers[i]
-		}
-		jobs[i] = runner.Job{Def: d, Opts: o}
+	// One spec drives both paths: expanded onto the local fleet, or POSTed
+	// verbatim to a daemon with -submit.
+	spec := api.JobSpec{
+		SchemaVersion: api.SchemaVersion,
+		Kind:          api.KindSuite,
+		Suite: &api.SuiteSpec{
+			Filter:     c.Filter,
+			Quick:      c.Quick,
+			DurationNS: int64(c.Duration),
+			Sweep:      sweep,
+		},
+		Workers:   c.Workers,
+		Scheduler: string(c.Scheduler),
+		Telemetry: c.Telemetry,
 	}
 
-	var progress sync.Mutex
-	hook := func(id string, phase exp.Phase, err error) {
-		if cfg.jsonOut {
-			return
+	var rep *api.Report
+	if c.Submit != "" {
+		if c.StoreDir != "" || c.TraceDir != "" {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -store and -trace-dir are local sinks; with -submit the daemon persists runs under its own -data root")
+			return 2
 		}
-		progress.Lock()
-		defer progress.Unlock()
-		switch phase {
-		case exp.PhaseFailed:
-			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", id, err)
-		}
-	}
-	fleet := &runner.Fleet{Workers: cfg.workers, Hook: hook, Telemetry: cfg.telemetry}
-	if cfg.storeDir != "" {
-		sw, err := store.Create(cfg.storeDir, store.Options{})
+		var err error
+		rep, err = submit(c, spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
+			fmt.Fprintln(os.Stderr, "phantom-suite:", err)
 			return 2
 		}
-		fleet.Store = sw
-	}
-	if cfg.httpAddr != "" {
-		state := newLiveState(len(jobs))
-		fleet.Hook = func(id string, phase exp.Phase, err error) {
-			state.hook(id, phase, err)
-			hook(id, phase, err)
-		}
-		fleet.OnResult = state.onResult
-		stop, err := serveLive(cfg.httpAddr, state)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phantom-suite: -http:", err)
-			return 2
-		}
-		defer stop()
-	}
-	results, stats := fleet.Run(jobs)
-	if fleet.Store != nil {
-		if err := fleet.Store.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
-			return 2
+	} else {
+		var code int
+		rep, code = runLocal(c, spec, verbose)
+		if rep == nil {
+			return code
 		}
 	}
 
-	if cfg.traceDir != "" {
-		for i, tr := range tracers {
-			path, err := cli.ExportTrace(cfg.traceDir, jobs[i].Label(), tr)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "phantom-suite: trace export:", err)
-				return 2
-			}
-			if cfg.verbose && !cfg.jsonOut {
-				fmt.Fprintf(os.Stderr, "trace %s: %d events retained (%d seen) → %s\n",
-					jobs[i].Label(), len(tr.Events()), tr.Seen(), path)
-			}
-		}
+	// Golden comparison is always client-side, against the local golden
+	// directory: the daemon doesn't know (or need) the baselines.
+	exitCode, err := goldenPass(rep.Results, goldenDir, updateGolden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-suite:", err)
+		return 2
+	}
+	if rep.Job != nil && rep.Job.State != api.JobDone {
+		exitCode = 1
 	}
 
-	exitCode := 0
-	type report struct {
-		ID       string             `json:"id"`
-		WallMS   float64            `json:"wall_ms"`
-		SimNS    int64              `json:"sim_nanos"`
-		Error    string             `json:"error,omitempty"`
-		Drifts   []string           `json:"drifts,omitempty"`
-		Golden   string             `json:"golden"` // ok | drift | updated | none | skipped | n/a
-		Summary  map[string]float64 `json:"summary,omitempty"`
-		Counters map[string]uint64  `json:"counters,omitempty"`
-		Notes    []string           `json:"notes,omitempty"`
-	}
-	reports := make([]report, 0, len(results))
-	tol := runner.DefaultTolerance()
-
-	for _, r := range results {
-		rep := report{ID: r.Job.Label(), WallMS: float64(r.Wall) / float64(time.Millisecond), SimNS: int64(r.SimTime), Golden: "n/a"}
-		if r.Err != nil {
-			rep.Error = r.Err.Error()
-			if r.Panicked && cfg.verbose {
-				fmt.Fprintln(os.Stderr, r.Stack)
-			}
-			exitCode = 1
-			reports = append(reports, rep)
-			continue
-		}
-		rep.Summary = r.Res.Summary
-		rep.Counters = r.Res.Counters
-		if cfg.verbose {
-			rep.Notes = r.Res.Notes
-		}
-		snap := runner.Snap(r)
-		switch {
-		case cfg.updateGolden:
-			if err := snap.WriteFile(cfg.goldenDir); err != nil {
-				fmt.Fprintln(os.Stderr, "phantom-suite: write golden:", err)
-				return 2
-			}
-			rep.Golden = "updated"
-		default:
-			want, err := runner.ReadSnapshot(cfg.goldenDir, snap.ID)
-			switch {
-			case errors.Is(err, os.ErrNotExist):
-				rep.Golden = "none"
-			case err != nil:
-				fmt.Fprintln(os.Stderr, "phantom-suite:", err)
-				return 2
-			case want.SimNanos != snap.SimNanos:
-				rep.Golden = "skipped" // baseline recorded at a different duration
-			default:
-				drifts := runner.Compare(snap, want, tol)
-				if len(drifts) == 0 {
-					rep.Golden = "ok"
-				} else {
-					rep.Golden = "drift"
-					exitCode = 1
-					for _, d := range drifts {
-						rep.Drifts = append(rep.Drifts, d.String())
-					}
-				}
-			}
-		}
-		reports = append(reports, rep)
-	}
-
-	if cfg.jsonOut {
-		out := struct {
-			SchemaVersion int               `json:"schema_version"`
-			Results       []report          `json:"results"`
-			Wall          float64           `json:"wall_ms"`
-			Work          float64           `json:"work_ms"`
-			Speedup       float64           `json:"work_wall_ratio"`
-			SimSec        float64           `json:"sim_seconds"`
-			Workers       int               `json:"workers"`
-			Failed        int               `json:"failed"`
-			Mallocs       uint64            `json:"mallocs"`
-			AllocBytes    uint64            `json:"alloc_bytes"`
-			AllocsPerRun  float64           `json:"allocs_per_run"`
-			Counters      map[string]uint64 `json:"counters,omitempty"`
-		}{exp.SchemaVersion, reports, float64(stats.Wall) / float64(time.Millisecond),
-			float64(stats.WorkWall) / float64(time.Millisecond),
-			stats.Speedup(), stats.SimTime.Seconds(), stats.Workers, stats.Failed,
-			stats.Mallocs, stats.AllocBytes, stats.AllocsPerRun(), stats.Counters}
-		b, err := json.MarshalIndent(out, "", "  ")
+	if c.JSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phantom-suite:", err)
 			return 2
@@ -387,32 +156,206 @@ func run(cfg suiteConfig) int {
 		fmt.Println(string(b))
 		return exitCode
 	}
+	render(rep, verbose)
+	return exitCode
+}
 
-	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
-	for _, rep := range reports {
+// runLocal expands the spec onto this process's own fleet.
+func runLocal(c *cli.Common, spec api.JobSpec, verbose bool) (*api.Report, int) {
+	expn, err := api.Expand(spec, api.Env{
+		Scheduler: c.Scheduler,
+		// The store persists trace events too, so -store alone keeps a
+		// flight recorder per job; JSONL files are only written for
+		// -trace-dir. Tracing never alters results either way.
+		Trace:        c.TraceDir != "" || c.StoreDir != "",
+		TraceRingCap: cli.TraceRingCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-suite:", err)
+		return nil, 2
+	}
+	hook := func(id string, phase exp.Phase, err error) {
+		if !c.JSON && phase == exp.PhaseFailed {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", id, err)
+		}
+	}
+	fleet := &runner.Fleet{Workers: c.Workers, Hook: hook, Telemetry: c.Telemetry}
+	sw, err := c.OpenStore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
+		return nil, 2
+	}
+	fleet.Store = sw
+	if c.HTTPAddr != "" {
+		state := cli.NewLiveState(len(expn.Jobs))
+		cli.AttachLive(fleet, state)
+		stop, err := cli.ServeLive(c.HTTPAddr, state)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -http:", err)
+			return nil, 2
+		}
+		defer stop()
+	}
+	results, stats := fleet.Run(expn.Jobs)
+	if fleet.Store != nil {
+		if err := fleet.Store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "phantom-suite: -store:", err)
+			return nil, 2
+		}
+	}
+	if c.TraceDir != "" {
+		for i := range expn.Jobs {
+			tr := expn.Jobs[i].Opts.Trace
+			if tr == nil {
+				continue
+			}
+			path, err := cli.ExportTrace(c.TraceDir, expn.Jobs[i].Label(), tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phantom-suite: trace export:", err)
+				return nil, 2
+			}
+			if verbose && !c.JSON {
+				fmt.Fprintf(os.Stderr, "trace %s: %d events retained (%d seen) → %s\n",
+					expn.Jobs[i].Label(), len(tr.Events()), tr.Seen(), path)
+			}
+		}
+	}
+	if verbose {
+		for _, r := range results {
+			if r.Panicked {
+				fmt.Fprintln(os.Stderr, r.Stack)
+			}
+		}
+	}
+	rep, err := expn.Finish(results, stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phantom-suite:", err)
+		return nil, 2
+	}
+	return rep, 0
+}
+
+// submit POSTs the spec to the phantom-serve daemon and streams the runs
+// back into a report shaped exactly like a local run's.
+func submit(c *cli.Common, spec api.JobSpec) (*api.Report, error) {
+	client := api.NewClient(c.Submit)
+	st, err := client.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !c.JSON {
+		fmt.Fprintf(os.Stderr, "submitted %s (%d runs) to %s\n", st.ID, st.Total, client.Base)
+	}
+	var results []api.RunResult
+	rep, err := client.Results(st.ID, func(rr api.RunResult) {
+		results = append(results, rr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	return rep, nil
+}
+
+// goldenPass compares (or, with update, rewrites) every successful run
+// against the golden baselines, filling Golden/Drifts in place. The
+// returned code is 1 when any run failed, was canceled, or drifted.
+func goldenPass(results []api.RunResult, dir string, update bool) (int, error) {
+	tol := runner.DefaultTolerance()
+	code := 0
+	for i := range results {
+		rr := &results[i]
+		if rr.Error != "" || rr.Canceled {
+			code = 1
+			continue
+		}
+		snap := runner.Snapshot{ID: rr.ID, SimNanos: rr.SimNS, Seed: rr.Seed, Summary: rr.Summary}
+		if update {
+			if err := snap.WriteFile(dir); err != nil {
+				return 2, fmt.Errorf("write golden: %w", err)
+			}
+			rr.Golden = "updated"
+			continue
+		}
+		want, err := runner.ReadSnapshot(dir, rr.ID)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			rr.Golden = "none"
+		case err != nil:
+			return 2, err
+		case want.SimNanos != snap.SimNanos:
+			rr.Golden = "skipped" // baseline recorded at a different duration
+		default:
+			drifts := runner.Compare(snap, want, tol)
+			if len(drifts) == 0 {
+				rr.Golden = "ok"
+			} else {
+				rr.Golden = "drift"
+				code = 1
+				for _, d := range drifts {
+					rr.Drifts = append(rr.Drifts, d.String())
+				}
+			}
+		}
+	}
+	return code, nil
+}
+
+// render prints the human-readable report: one line per run in ID order,
+// then the fleet totals.
+func render(rep *api.Report, verbose bool) {
+	rows := append([]api.RunResult(nil), rep.Results...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	for _, rr := range rows {
 		status := "ok"
-		if rep.Error != "" {
+		switch {
+		case rr.Canceled:
+			status = "CANC"
+		case rr.Error != "":
 			status = "FAIL"
 		}
+		golden := rr.Golden
+		if golden == "" {
+			golden = "n/a"
+		}
 		fmt.Printf("%-6s %-4s %8.0fms sim=%-8v golden=%s\n",
-			rep.ID, status, rep.WallMS, sim.Duration(rep.SimNS), rep.Golden)
-		for _, d := range rep.Drifts {
+			rr.ID, status, rr.WallMS, sim.Duration(rr.SimNS), golden)
+		for _, d := range rr.Drifts {
 			fmt.Printf("       drift: %s\n", d)
 		}
-		if rep.Error != "" {
-			fmt.Printf("       error: %s\n", rep.Error)
+		if rr.Error != "" {
+			fmt.Printf("       error: %s\n", rr.Error)
 		}
-		for _, n := range rep.Notes {
-			fmt.Printf("       • %s\n", n)
+		if verbose {
+			for _, n := range rr.Notes {
+				fmt.Printf("       • %s\n", n)
+			}
 		}
 	}
-	fmt.Printf("\n%d experiments, %d failed · wall %v · work %v · work/wall %.2fx (j=%d) · %.1f sim-s/wall-s · %.0f allocs/run (%.1f MB)\n",
-		stats.Runs, stats.Failed, stats.Wall.Round(time.Millisecond),
-		stats.WorkWall.Round(time.Millisecond), stats.Speedup(), stats.Workers,
-		stats.SimPerWallSecond(), stats.AllocsPerRun(), float64(stats.AllocBytes)/1e6)
-	if len(stats.Counters) > 0 {
+	st := rep.Stats
+	speedup, simPerWall, allocsPerRun := 0.0, 0.0, 0.0
+	if st.WallMS > 0 {
+		speedup = st.WorkMS / st.WallMS
+		simPerWall = st.SimSeconds / (st.WallMS / 1000)
+	}
+	if st.Runs > 0 {
+		allocsPerRun = float64(st.Mallocs) / float64(st.Runs)
+	}
+	fmt.Printf("\n%d experiments, %d failed · wall %.0fms · work %.0fms · work/wall %.2fx (j=%d) · %.1f sim-s/wall-s · %.0f allocs/run (%.1f MB)\n",
+		st.Runs, st.Failed, st.WallMS, st.WorkMS, speedup, st.Workers,
+		simPerWall, allocsPerRun, float64(st.AllocBytes)/1e6)
+	if rep.Job != nil {
+		fmt.Printf("daemon job %s: state=%s", rep.Job.ID, rep.Job.State)
+		if rep.Job.Store != "" {
+			fmt.Printf(" store=%s", rep.Job.Store)
+		}
+		if rep.Job.Error != "" {
+			fmt.Printf(" error=%s", rep.Job.Error)
+		}
+		fmt.Println()
+	}
+	if len(st.Counters) > 0 {
 		fmt.Println("\nfleet counter totals:")
-		telemetry.WriteText(os.Stdout, stats.Counters, "  ")
+		telemetry.WriteText(os.Stdout, st.Counters, "  ")
 	}
-	return exitCode
 }

@@ -1,0 +1,295 @@
+package api
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+	"repro/internal/scengen"
+	"repro/internal/sim"
+	"repro/internal/simconfig"
+	"repro/internal/trace"
+)
+
+// Env is what the executor brings to a spec: its default scheduler and its
+// observation posture. The spec says what to run; the Env says where it
+// runs — the same spec expands identically on a CLI and on the daemon
+// apart from these knobs.
+type Env struct {
+	// Scheduler is the fallback backend when the spec doesn't pick one.
+	Scheduler sim.SchedulerKind
+	// Trace attaches a flight recorder to every job, for executors that
+	// persist runs into a campaign store (the recorder feeds the store's
+	// trace blocks). Tracing never alters results.
+	Trace bool
+	// TraceRingCap caps each job's recorder (0: a campaign-sized default).
+	TraceRingCap int
+	// TraceDir, when non-empty, additionally exports fuzz scenarios'
+	// retained events as JSONL under it at Finish (suite binaries export
+	// their own, with experiment-derived names).
+	TraceDir string
+}
+
+// Expansion is a spec turned into executable fleet work plus the collector
+// that folds fleet results back into wire results. Run Jobs on any fleet
+// (any worker count, any store sink, any context), then Convert each
+// result — or Finish all of them — into the wire shape.
+type Expansion struct {
+	Spec JobSpec
+	// Jobs in deterministic spec order. The executing fleet must pass this
+	// exact slice: Convert is keyed by job index.
+	Jobs []runner.Job
+
+	sched    sim.SchedulerKind
+	campaign *scengen.Campaign // fuzz kind
+	scenViol []scengen.Violation
+	scenSet  bool
+}
+
+// TraceRingDefault sizes per-job flight recorders for campaign-scale runs.
+const TraceRingDefault = 1 << 12
+
+// Expand turns a validated spec into fleet jobs under env. Invalid specs
+// (bad filter regexp, unknown family, unparseable scenario) fail here, so
+// the daemon rejects them at submit time with a real message instead of
+// queueing a job that can only fail.
+func Expand(spec JobSpec, env Env) (*Expansion, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kind, _ := sim.ParseScheduler(spec.Scheduler) // Validate checked it
+	if kind == sim.SchedulerDefault {
+		kind = env.Scheduler
+	}
+	ringCap := env.TraceRingCap
+	if ringCap <= 0 {
+		ringCap = TraceRingDefault
+	}
+	e := &Expansion{Spec: spec, sched: kind}
+	switch spec.Kind {
+	case KindSuite:
+		if err := e.expandSuite(env, ringCap); err != nil {
+			return nil, err
+		}
+	case KindScenario:
+		if err := e.expandScenario(env, ringCap); err != nil {
+			return nil, err
+		}
+	case KindFuzz:
+		if err := e.expandFuzz(env, ringCap); err != nil {
+			return nil, err
+		}
+	}
+	if len(e.Jobs) == 0 {
+		return nil, fmt.Errorf("api: spec matches no work (empty filter result?)")
+	}
+	return e, nil
+}
+
+// expandSuite builds one job per (matched experiment, sweep point).
+func (e *Expansion) expandSuite(env Env, ringCap int) error {
+	s := e.Spec.Suite
+	re, err := regexp.Compile(s.Filter)
+	if err != nil {
+		return fmt.Errorf("api: bad filter: %w", err)
+	}
+	sweep := s.Sweep
+	if sweep < 1 {
+		sweep = 1
+	}
+	exp.Walk(func(d exp.Definition) bool {
+		if !re.MatchString(d.ID) {
+			return true
+		}
+		for i := 0; i < sweep; i++ {
+			o := exp.Options{Quiet: true, Duration: sim.Duration(s.DurationNS), Scheduler: e.sched}
+			if s.Quick && o.Duration == 0 {
+				o.Duration = runner.QuickDuration(d.ID)
+			}
+			if env.Trace {
+				// One recorder per job: tracers are single-goroutine like
+				// the engines they observe.
+				o.Trace = trace.New(ringCap)
+			}
+			job := runner.Job{Def: d, Opts: o}
+			if sweep > 1 {
+				job.SweepIndex = i
+			}
+			e.Jobs = append(e.Jobs, job)
+		}
+		return true
+	})
+	return nil
+}
+
+// expandScenario builds the single job that parses, runs and
+// invariant-checks the embedded simconfig text.
+func (e *Expansion) expandScenario(env Env, ringCap int) error {
+	s := e.Spec.Scenario
+	parsed, err := simconfig.Parse(strings.NewReader(s.Text))
+	if err != nil {
+		return fmt.Errorf("api: scenario: %w", err)
+	}
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
+	sched := e.sched
+	if sched == sim.SchedulerDefault {
+		sched = sim.SchedulerHeap
+	}
+	crossCheck := s.CrossCheck
+	var opts exp.Options
+	if env.Trace {
+		opts.Trace = trace.New(ringCap)
+	}
+	e.Jobs = []runner.Job{{
+		Def: exp.Definition{
+			ID:    name,
+			Title: "simconfig scenario",
+			Run: func(o exp.Options) (*exp.Result, error) {
+				out, err := scengen.RunSpecObserved(parsed, sched, scengen.Observe{Telemetry: o.Telemetry, Trace: o.Trace})
+				if err != nil {
+					return nil, err
+				}
+				violations := scengen.Check(out)
+				if crossCheck {
+					other := sim.SchedulerWheel
+					if sched == sim.SchedulerWheel {
+						other = sim.SchedulerHeap
+					}
+					out2, err := scengen.RunSpec(parsed, other)
+					if err != nil {
+						return nil, fmt.Errorf("scenario failed on %s: %w", other, err)
+					}
+					if out2.Fingerprint != out.Fingerprint {
+						violations = append(violations, scengen.Violation{Name: "determinism", Detail: fmt.Sprintf(
+							"%s and %s runs disagree:\n  %s\nvs\n  %s", sched, other, out.Fingerprint, out2.Fingerprint)})
+					}
+				}
+				// The job runs at most once per expansion, on one worker:
+				// the slot write is ordered before every reader (Convert
+				// after this job's completion, Finish after the drain).
+				e.scenViol, e.scenSet = violations, true
+				res := &exp.Result{
+					ID: name,
+					Summary: map[string]float64{
+						"violations": float64(len(violations)),
+						"fired":      float64(out.Fired),
+						"sessions":   float64(len(out.Names)),
+					},
+					Notes: []string{"fingerprint: " + out.Fingerprint},
+				}
+				for i, n := range out.Names {
+					res.Summary["tail_goodput."+n] = out.TailGoodput[i]
+				}
+				return res, nil
+			},
+		},
+		Opts: opts,
+		Name: name,
+	}}
+	return nil
+}
+
+// expandFuzz delegates to scengen's campaign builder.
+func (e *Expansion) expandFuzz(env Env, ringCap int) error {
+	s := e.Spec.Fuzz
+	var families []scengen.Family
+	for _, name := range s.Families {
+		f, err := scengen.ParseFamily(name)
+		if err != nil {
+			return fmt.Errorf("api: %w", err)
+		}
+		families = append(families, f)
+	}
+	c, err := scengen.NewCampaign(scengen.CampaignConfig{
+		Families:     families,
+		N:            s.N,
+		Scheduler:    e.sched,
+		CrossCheck:   s.CrossCheck,
+		Minimize:     s.Minimize,
+		ObserveTrace: env.Trace,
+		TraceRingCap: ringCap,
+		TraceDir:     env.TraceDir,
+	})
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	e.campaign = c
+	e.Jobs = c.Jobs()
+	return nil
+}
+
+// Convert folds the fleet result of job i into its wire envelope. Safe to
+// call from an OnResult callback (the fuzz/scenario finding slots are
+// written by the job's own Run before its result lands).
+func (e *Expansion) Convert(i int, r runner.Result) RunResult {
+	rr := RunResult{
+		ID:       r.Job.Label(),
+		Sweep:    r.Job.SweepIndex,
+		WallMS:   float64(r.Wall) / float64(time.Millisecond),
+		SimNS:    int64(r.SimTime),
+		Canceled: r.Canceled,
+	}
+	if r.Job.PinSeed {
+		rr.Seed = r.Job.Opts.Seed
+	} else {
+		rr.Seed = runner.DeriveSeed(r.Job.Def.ID, r.Job.SweepIndex)
+	}
+	if r.Err != nil {
+		rr.Error = r.Err.Error()
+	}
+	if r.Res != nil {
+		rr.Summary = r.Res.Summary
+		rr.Counters = r.Res.Counters
+		rr.Notes = r.Res.Notes
+	}
+	switch {
+	case e.campaign != nil:
+		if f := e.campaign.Finding(i); f != nil {
+			for _, v := range f.Violations {
+				rr.Violations = append(rr.Violations, v.String())
+			}
+		}
+	case e.scenSet && i == 0:
+		for _, v := range e.scenViol {
+			rr.Violations = append(rr.Violations, v.String())
+		}
+	}
+	return rr
+}
+
+// Finish converts every result (in job order) and runs the expansion's
+// deferred work (fuzz trace export). Call once, after the fleet drains.
+func (e *Expansion) Finish(results []runner.Result, stats runner.Stats) (*Report, error) {
+	rrs := make([]RunResult, len(results))
+	for i, r := range results {
+		rrs[i] = e.Convert(i, r)
+	}
+	if e.campaign != nil {
+		if _, err := e.campaign.Finish(stats); err != nil {
+			return nil, err
+		}
+	}
+	return NewReport(e.Spec.Kind, rrs, stats), nil
+}
+
+// Findings returns the fuzz campaign's compacted findings in (family,
+// index) order, for freeze/minimize reporting. Valid after the fleet has
+// drained; nil for non-fuzz specs or clean campaigns.
+func (e *Expansion) Findings() []scengen.Finding {
+	if e.campaign == nil {
+		return nil
+	}
+	var out []scengen.Finding
+	for i := range e.Jobs {
+		if f := e.campaign.Finding(i); f != nil {
+			out = append(out, *f)
+		}
+	}
+	return out
+}

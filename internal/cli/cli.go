@@ -55,6 +55,15 @@ const (
 	// traces) into a columnar phantomdb campaign directory, queryable with
 	// phantom-trace -store.
 	FlagStore
+	// FlagHTTP registers -http: serve the live fleet endpoints (/status
+	// JSON and /metrics Prometheus text) on the given address while the
+	// command runs. Every fleet-running binary gets the same endpoints
+	// from the shared LiveState handlers.
+	FlagHTTP
+	// FlagSubmit registers -submit: send the command's job spec to a
+	// phantom-serve daemon at the given address instead of executing
+	// locally, then stream back the results.
+	FlagSubmit
 )
 
 // TraceRingCap is the per-run flight-recorder capacity behind -trace-dir:
@@ -89,6 +98,12 @@ type Common struct {
 	// StoreDir, when non-empty, is the phantomdb campaign directory run
 	// results append to.
 	StoreDir string
+	// HTTPAddr, when non-empty, is where the live fleet endpoints serve
+	// while the command runs.
+	HTTPAddr string
+	// Submit, when non-empty, is the phantom-serve daemon address the
+	// command's job spec is sent to instead of executing locally.
+	Submit string
 
 	schedulerName string
 	cpuProfile    string
@@ -137,6 +152,14 @@ func New(prog string, flags Flags) *Common {
 	if flags&FlagStore != 0 {
 		flag.StringVar(&c.StoreDir, "store", "",
 			"append run results (summaries, counters, traces) to this phantomdb campaign directory")
+	}
+	if flags&FlagHTTP != 0 {
+		flag.StringVar(&c.HTTPAddr, "http", "",
+			"serve live fleet progress (/status JSON, /metrics Prometheus) on this address while running")
+	}
+	if flags&FlagSubmit != 0 {
+		flag.StringVar(&c.Submit, "submit", "",
+			"submit the job to a phantom-serve daemon at this address instead of running locally")
 	}
 	return c
 }

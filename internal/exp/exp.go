@@ -75,7 +75,15 @@ type Result struct {
 //	2 — telemetry: per-experiment "counters" object (dotted counter name →
 //	    value, present only when telemetry is enabled) and suite-level
 //	    "counters" fleet totals merged per telemetry.Merge.
-const SchemaVersion = 2
+//	3 — job API: campaign output moves onto the internal/api envelopes
+//	    shared by phantom-suite, phantom-fuzz and phantom-serve. Suite and
+//	    fuzz -json emit api.Report (per-run api.RunResult rows plus a
+//	    nested "stats" object replacing v2's top-level flat fleet fields);
+//	    fuzz runs gain structured "violations"; job submission, status and
+//	    streaming results use api.JobSpec / api.JobStatus / api.ResultLine.
+//	    Single-experiment JSON (this method) is unchanged apart from the
+//	    version number.
+const SchemaVersion = 3
 
 // JSON renders the result as indented JSON: schema version, id, title,
 // summary metrics, telemetry counters (when recorded) and notes (figures

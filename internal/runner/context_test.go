@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+)
+
+// TestRunContextBackground pins the zero-value path: a background context
+// reproduces Run exactly — no canceled results, no Canceled count.
+func TestRunContextBackground(t *testing.T) {
+	jobs := []Job{{Def: okDef("T00", 0)}, {Def: okDef("T01", 1)}}
+	fleet := &Fleet{Workers: 2}
+	results, stats := fleet.RunContext(context.Background(), jobs)
+	for i, r := range results {
+		if r.Err != nil || r.Canceled {
+			t.Fatalf("job %d: err=%v canceled=%v", i, r.Err, r.Canceled)
+		}
+	}
+	if stats.Canceled != 0 || stats.Failed != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestRunContextCancel cancels mid-fleet: the gate job blocks one worker
+// until cancel lands, so every job behind it must come back canceled while
+// the jobs that already ran stay complete.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 12
+	jobs := make([]Job, n)
+	release := make(chan struct{})
+	jobs[0] = Job{Def: fakeDef("GATE", func(exp.Options) (*exp.Result, error) {
+		cancel()
+		<-release
+		return &exp.Result{ID: "GATE", Summary: map[string]float64{}}, nil
+	})}
+	var ran atomic.Int32
+	for i := 1; i < n; i++ {
+		id := fmt.Sprintf("T%02d", i)
+		jobs[i] = Job{Def: fakeDef(id, func(exp.Options) (*exp.Result, error) {
+			ran.Add(1)
+			return &exp.Result{ID: id, Summary: map[string]float64{}}, nil
+		})}
+	}
+	fleet := &Fleet{Workers: 1}
+	go func() {
+		// Single worker: job 0 cancels then blocks; release lets it finish
+		// so every later job sees a done context.
+		release <- struct{}{}
+	}()
+	results, stats := fleet.RunContext(ctx, jobs)
+
+	if results[0].Err != nil || results[0].Canceled {
+		t.Fatalf("in-flight job was not allowed to finish: %+v", results[0])
+	}
+	for i := 1; i < n; i++ {
+		if !results[i].Canceled {
+			t.Fatalf("job %d not canceled", i)
+		}
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Fatalf("job %d err = %v, want context.Canceled", i, results[i].Err)
+		}
+		if results[i].Res != nil {
+			t.Fatalf("canceled job %d carries a result", i)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d jobs ran after cancel", ran.Load())
+	}
+	if stats.Canceled != n-1 || stats.Failed != 0 {
+		t.Errorf("stats = %+v, want Canceled=%d Failed=0", stats, n-1)
+	}
+}
+
+// TestRunContextCancelSealsStore checks the drain contract: canceled jobs
+// commit empty segments, so the campaign writer closes without gaps and the
+// directory opens as a readable store with one run per job.
+func TestRunContextCancelSealsStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	sw, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 6
+	jobs := make([]Job, n)
+	jobs[0] = Job{Def: fakeDef("GATE", func(exp.Options) (*exp.Result, error) {
+		cancel()
+		return &exp.Result{ID: "GATE", Summary: map[string]float64{"ok": 1}}, nil
+	})}
+	for i := 1; i < n; i++ {
+		jobs[i] = Job{Def: okDef(fmt.Sprintf("T%02d", i), float64(i))}
+	}
+	fleet := &Fleet{Workers: 1, Store: sw}
+	results, stats := fleet.RunContext(ctx, jobs)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("writer did not seal after cancel: %v", err)
+	}
+	if stats.Canceled != n-1 {
+		t.Fatalf("stats = %+v, want %d canceled", stats, n-1)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+
+	r, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("canceled campaign is not readable: %v", err)
+	}
+	var summaries int
+	if err := r.Summaries(store.Query{}, func(store.RunSummary) error {
+		summaries++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the completed gate job has a summary; the canceled jobs are
+	// empty segments.
+	if summaries != 1 {
+		t.Errorf("got %d summary rows, want 1", summaries)
+	}
+}

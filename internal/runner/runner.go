@@ -19,6 +19,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -69,6 +70,11 @@ type Result struct {
 	Err      error
 	Panicked bool
 	Stack    string
+	// Canceled marks a job that never ran because the fleet's context was
+	// done before a worker picked it up; Err carries the context's error.
+	// In-flight jobs are never interrupted — cancellation is at job
+	// granularity, so every result is either complete or canceled.
+	Canceled bool
 	// Wall is the job's own execution time.
 	Wall time.Duration
 	// SimTime is the simulated duration the job covered (the option's
@@ -80,7 +86,11 @@ type Result struct {
 type Stats struct {
 	Runs    int
 	Failed  int
-	Workers int
+	// Canceled counts jobs skipped because the fleet's context was done.
+	// They are not counted in Failed: a canceled job says nothing about
+	// the experiment, only about the caller's deadline.
+	Canceled int
+	Workers  int
 	// Wall is the fleet's end-to-end time; WorkWall is the sum of the
 	// per-job times. WorkWall/Wall is the realized parallel speedup.
 	Wall     time.Duration
@@ -148,9 +158,12 @@ type Fleet struct {
 	Telemetry bool
 	// OnResult, when set, observes each completed Result the moment its job
 	// finishes, before the fleet drains — the live-visibility feed behind
-	// phantom-suite -http. Called from worker goroutines; it must be safe
-	// for concurrent use and should return quickly.
-	OnResult func(Result)
+	// -http and the phantom-serve streaming results endpoint. i is the
+	// job's index in the slice passed to Run, so consumers can key results
+	// by submission order even though completion order varies. Called from
+	// worker goroutines; it must be safe for concurrent use and should
+	// return quickly.
+	OnResult func(i int, r Result)
 	// Store, when set, persists each job's results (summary metrics,
 	// telemetry counters when recorded, flight-recorder events when the job
 	// carries a tracer) into the columnar campaign store. Each worker
@@ -207,8 +220,22 @@ func Sweep(def exp.Definition, base exp.Options, n int, vary func(i int, o *exp.
 // Run executes the jobs and returns one Result per job, in job order
 // (results are indexed, never appended, so completion order is invisible to
 // callers). It blocks until every job finishes; a panicking job is captured
-// into its Result and the fleet keeps going.
+// into its Result and the fleet keeps going. Run never cancels: it is
+// RunContext under a background context.
 func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
+	return f.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with first-class cancellation. When ctx is done, jobs a
+// worker has not yet picked up complete immediately as canceled Results
+// (Canceled set, Err = ctx.Err()); jobs already executing run to completion
+// — engines are single-goroutine and are never interrupted mid-run, so
+// cancellation lands at job granularity and every non-canceled Result is a
+// complete one. Canceled jobs still commit (empty) store segments, so a
+// canceled campaign's writer seals into a readable store: the daemon's
+// graceful-drain path relies on this. A background context reproduces Run
+// exactly.
+func (f *Fleet) RunContext(ctx context.Context, jobs []Job) ([]Result, Stats) {
 	workers := f.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -231,12 +258,16 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(jobs[i], f.Hook, f.Telemetry)
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Job: jobs[i], Err: err, Canceled: true}
+				} else {
+					results[i] = runOne(jobs[i], f.Hook, f.Telemetry)
+				}
 				if f.Store != nil {
 					f.commitStore(i, &jobs[i], &results[i])
 				}
 				if f.OnResult != nil {
-					f.OnResult(results[i])
+					f.OnResult(i, results[i])
 				}
 			}
 		}()
@@ -255,7 +286,10 @@ func (f *Fleet) Run(jobs []Job) ([]Result, Stats) {
 	for i := range results {
 		stats.WorkWall += results[i].Wall
 		stats.SimTime += results[i].SimTime
-		if results[i].Err != nil {
+		switch {
+		case results[i].Canceled:
+			stats.Canceled++
+		case results[i].Err != nil:
 			stats.Failed++
 		}
 		if res := results[i].Res; res != nil && len(res.Counters) > 0 {

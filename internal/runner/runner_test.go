@@ -281,9 +281,12 @@ func TestFleetOnResult(t *testing.T) {
 	}
 	var mu sync.Mutex
 	seen := map[string]int{}
-	fleet := &Fleet{Workers: 4, OnResult: func(r Result) {
+	fleet := &Fleet{Workers: 4, OnResult: func(i int, r Result) {
 		mu.Lock()
 		defer mu.Unlock()
+		if jobs[i].Label() != r.Job.Label() {
+			t.Errorf("OnResult index %d carries job %s, want %s", i, r.Job.Label(), jobs[i].Label())
+		}
 		seen[r.Job.Label()]++
 	}}
 	fleet.Run(jobs)

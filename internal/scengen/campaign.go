@@ -50,6 +50,10 @@ type CampaignConfig struct {
 	// snapshot, trace events — through the fleet's campaign-store sink.
 	// The caller owns the writer and its Close.
 	Store *store.Writer
+	// ObserveTrace forces a flight recorder per scenario even when TraceDir
+	// and Store are unset, for executors (the phantom-serve daemon) that
+	// attach their own store sink to the fleet after building the jobs.
+	ObserveTrace bool
 }
 
 // Finding is one scenario that violated an invariant.
@@ -74,9 +78,22 @@ type CampaignReport struct {
 	Stats    runner.Stats
 }
 
-// RunCampaign generates and checks cfg.N scenarios for every family, in
-// parallel, deterministically.
-func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+// Campaign is a built-but-not-yet-run campaign: the fleet jobs plus the
+// finding slots they write into. It exists so any executor — RunCampaign
+// locally, the phantom-serve daemon remotely — can run the same jobs on its
+// own fleet (with its own context, store sink and live hooks) and still
+// collect findings deterministically.
+type Campaign struct {
+	cfg      CampaignConfig
+	families []Family
+	jobs     []runner.Job
+	slots    []*Finding
+}
+
+// NewCampaign expands cfg into one fleet job per scenario. Findings are
+// written into per-job slots (one writer each), compacted in order by
+// Finish after the fleet drains.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("scengen: campaign needs N > 0, got %d", cfg.N)
 	}
@@ -89,18 +106,15 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 		sched = sim.SchedulerHeap
 	}
 
-	// One fleet job per scenario. Findings are written into per-job slots
-	// (one writer each), then compacted in order after the fleet drains.
-	observeTrace := cfg.TraceDir != "" || cfg.Store != nil
+	observeTrace := cfg.TraceDir != "" || cfg.Store != nil || cfg.ObserveTrace
 	ringCap := cfg.TraceRingCap
 	if ringCap <= 0 {
 		ringCap = 1 << 12
 	}
-	slots := make([]*Finding, len(families)*cfg.N)
-	var jobs []runner.Job
+	c := &Campaign{cfg: cfg, families: families, slots: make([]*Finding, len(families)*cfg.N)}
 	for fi, fam := range families {
 		for i := 0; i < cfg.N; i++ {
-			fam, i, slot := fam, i, &slots[fi*cfg.N+i]
+			fam, i, slot := fam, i, &c.slots[fi*cfg.N+i]
 			var opts exp.Options
 			if observeTrace {
 				// One recorder per job: tracers are single-goroutine like
@@ -108,7 +122,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 				// Opts.Trace after the job lands.
 				opts.Trace = trace.New(ringCap)
 			}
-			jobs = append(jobs, runner.Job{
+			c.jobs = append(c.jobs, runner.Job{
 				Def: exp.Definition{
 					ID:    "fuzz/" + string(fam),
 					Title: "scenario fuzz: " + string(fam),
@@ -132,27 +146,52 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 			})
 		}
 	}
+	return c, nil
+}
 
-	fleet := &runner.Fleet{Workers: cfg.Workers, Hook: cfg.Hook, Telemetry: cfg.Telemetry, Store: cfg.Store}
-	results, stats := fleet.Run(jobs)
-	for _, r := range results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("scengen: %s: %w", r.Job.Name, r.Err)
-		}
-	}
-	if cfg.TraceDir != "" {
-		if err := exportTraces(cfg.TraceDir, jobs); err != nil {
+// Jobs returns the campaign's fleet jobs in (family, index) order. The
+// slice is the campaign's own: run it, don't reorder it.
+func (c *Campaign) Jobs() []runner.Job { return c.jobs }
+
+// Finding returns the finding of job i (nil: every invariant held). Valid
+// once job i has completed — the slot is written by the job's own Run, so
+// any caller ordered after that completion (an OnResult callback for i, or
+// anything after the fleet drains) reads it race-free.
+func (c *Campaign) Finding(i int) *Finding { return c.slots[i] }
+
+// Finish compacts the findings into a deterministic report and exports the
+// per-scenario traces when the campaign was configured with a TraceDir.
+// Call it exactly once, after the fleet has drained.
+func (c *Campaign) Finish(stats runner.Stats) (*CampaignReport, error) {
+	if c.cfg.TraceDir != "" {
+		if err := exportTraces(c.cfg.TraceDir, c.jobs); err != nil {
 			return nil, err
 		}
 	}
-
-	rep := &CampaignReport{Scenarios: len(jobs), Stats: stats}
-	for _, f := range slots {
+	rep := &CampaignReport{Scenarios: len(c.jobs), Stats: stats}
+	for _, f := range c.slots {
 		if f != nil {
 			rep.Findings = append(rep.Findings, *f)
 		}
 	}
 	return rep, nil
+}
+
+// RunCampaign generates and checks cfg.N scenarios for every family, in
+// parallel, deterministically.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fleet := &runner.Fleet{Workers: cfg.Workers, Hook: cfg.Hook, Telemetry: cfg.Telemetry, Store: cfg.Store}
+	results, stats := fleet.Run(c.Jobs())
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("scengen: %s: %w", r.Job.Name, r.Err)
+		}
+	}
+	return c.Finish(stats)
 }
 
 // exportTraces writes each job's retained flight-recorder events to

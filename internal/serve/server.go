@@ -1,0 +1,345 @@
+// Package serve is the phantom control plane: a long-running daemon that
+// wraps runner.Fleet behind the versioned job API (package api). Clients
+// POST a JobSpec, get back a job ID, and poll or stream the job's life;
+// the daemon runs jobs from a bounded queue on persistent workers, writes
+// each job's runs into its own campaign store directory, and drains
+// gracefully — sealing every in-flight store — on shutdown.
+//
+// Determinism carries over wholesale: a job's results and its store bytes
+// are identical to a direct runner.Fleet run of the same expansion,
+// whatever the daemon's queue depth or worker counts.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/cli"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Dir is the data root; each job gets the campaign directory Dir/<id>.
+	// Empty runs storeless (results live only in memory and the stream).
+	Dir string
+	// QueueDepth bounds the submitted-but-not-started backlog (default 64).
+	// Submissions beyond it are rejected with 429, not blocked.
+	QueueDepth int
+	// JobWorkers is how many jobs run concurrently (default 1: jobs are
+	// themselves fleets; one at a time keeps run-level parallelism honest).
+	JobWorkers int
+	// FleetWorkers is the per-job fleet size when the spec doesn't pick one
+	// (0: GOMAXPROCS).
+	FleetWorkers int
+	// Scheduler is the default engine backend for specs that don't choose.
+	Scheduler sim.SchedulerKind
+	// TraceRingCap caps per-run flight recorders (0: api.TraceRingDefault).
+	TraceRingCap int
+}
+
+// Server owns the job table, the queue, and the worker pool. Create with
+// New, mount Handler on a listener (or httptest), and Drain on shutdown.
+type Server struct {
+	cfg  Config
+	live *cli.LiveState
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job
+	nextID   int
+	draining bool
+	queue    chan *job
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	s := &Server{
+		cfg:   cfg,
+		live:  cli.NewLiveState(0),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.live.SetExtraProm(s.promJobs)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST "+api.PathPrefix+"/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs", s.handleList)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE "+api.PathPrefix+"/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/results", s.handleResults)
+	s.live.Register(s.mux)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler is the daemon's full HTTP surface: the /v1 job API plus the
+// fleet-wide /status and /metrics shared with the other fleet binaries.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Live exposes the fleet-wide live view (the cmd wires it to -http).
+func (s *Server) Live() *cli.LiveState { return s.live }
+
+// Drain stops accepting jobs, cancels everything queued or running, waits
+// for the workers to land their in-flight runs, and returns once every
+// job's store is sealed. Idempotent; safe under concurrent submits.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	// Submissions hold the lock while enqueueing, so once draining is set
+	// no send can race this close.
+	close(s.queue)
+	jobs := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
+	s.wg.Wait()
+}
+
+// worker runs queued jobs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's expansion on a fresh fleet, landing each run
+// into the job as it completes and sealing the job's store at the end.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !j.start(cancel) {
+		return // cancelled while queued
+	}
+	workers := j.spec.Workers
+	if workers == 0 {
+		workers = s.cfg.FleetWorkers
+	}
+	fleet := &runner.Fleet{
+		Workers:   workers,
+		Telemetry: j.spec.Telemetry,
+		OnResult:  func(i int, r runner.Result) { j.land(i, j.exp.Convert(i, r)) },
+	}
+	cli.AttachLive(fleet, s.live)
+	var infra string
+	if j.storeDir != "" {
+		sw, err := store.Create(j.storeDir, store.Options{})
+		if err != nil {
+			infra = fmt.Sprintf("store: %v", err)
+		} else {
+			fleet.Store = sw
+		}
+	}
+	var stats runner.Stats
+	if infra == "" {
+		var results []runner.Result
+		results, stats = fleet.RunContext(ctx, j.exp.Jobs)
+		if fleet.Store != nil {
+			// Canceled runs committed empty segments, so Close seals a
+			// complete, readable campaign even mid-cancel.
+			if err := fleet.Store.Close(); err != nil {
+				infra = fmt.Sprintf("store: %v", err)
+			}
+		}
+		if infra == "" {
+			// Finish runs the expansion's deferred work (fuzz trace export
+			// is off on the daemon — no TraceDir — so this is bookkeeping).
+			if _, err := j.exp.Finish(results, stats); err != nil {
+				infra = fmt.Sprintf("finish: %v", err)
+			}
+		}
+	}
+	j.finish(stats, infra)
+}
+
+// Submit accepts a spec programmatically (the HTTP handler wraps this).
+// It expands the spec — rejecting invalid ones with a real message — and
+// enqueues the job.
+func (s *Server) Submit(spec api.JobSpec) (*job, error) {
+	expn, err := api.Expand(spec, api.Env{
+		Scheduler:    s.cfg.Scheduler,
+		Trace:        s.cfg.Dir != "",
+		TraceRingCap: s.cfg.TraceRingCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%05d", s.nextID)
+	storeDir := ""
+	if s.cfg.Dir != "" {
+		storeDir = filepath.Join(s.cfg.Dir, id)
+	}
+	j := newJob(id, spec, expn, storeDir)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.live.AddTotal(len(expn.Jobs))
+	return j, nil
+}
+
+var (
+	errDraining  = fmt.Errorf("serve: draining, not accepting jobs")
+	errQueueFull = fmt.Errorf("serve: job queue full")
+)
+
+// lookup finds a job by path ID.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// promJobs appends the daemon's queue gauges to /metrics.
+func (s *Server) promJobs(w io.Writer) {
+	counts := map[api.JobState]int{}
+	s.mu.Lock()
+	for _, j := range s.order {
+		counts[j.status().State]++
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE phantom_serve_jobs untyped\n")
+	for _, st := range []api.JobState{api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCanceled} {
+		fmt.Fprintf(w, "phantom_serve_jobs{state=%q} %d\n", st, counts[st])
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(api.MarshalError(msg))
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case err == errDraining:
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err == errQueueFull:
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, j.status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	l := api.JobList{SchemaVersion: api.SchemaVersion, Jobs: make([]api.JobStatus, len(jobs))}
+	for i, j := range jobs {
+		l.Jobs[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleResults streams the job's runs as NDJSON in submission order and
+// terminates with the report line once the job is terminal and flushed.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		next, ch, terminal := j.watch(sent)
+		for i := range next {
+			enc.Encode(api.ResultLine{Run: &next[i]})
+		}
+		sent += len(next)
+		if len(next) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// Everything landed before the terminal transition is flushed
+			// (finish bumps after the last land); stragglers can't exist.
+			enc.Encode(api.ResultLine{Report: j.report()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
