@@ -52,7 +52,7 @@ func main() {
 		cli.FlagWorkers|cli.FlagScheduler|cli.FlagQuiet|cli.FlagJSON|cli.FlagProfile|
 			cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagHTTP|cli.FlagSubmit)
 	n := flag.Int("n", 100, "scenarios per family")
-	familyName := flag.String("family", "", "restrict to one family (default all): parkinglot, fattree, waxman, flashcrowd, webmix, transient")
+	familyName := flag.String("family", "", "restrict to one family (default all): parkinglot, fattree, waxman, flashcrowd, webmix, transient, shardedmesh")
 	seedFlag := flag.Uint64("seed", 0, "replay exactly one scenario with this seed (requires -family)")
 	minimize := flag.Bool("minimize", false, "shrink each failing scenario to a minimal reproducer")
 	freezeDir := flag.String("freeze", "", "write failing scenarios as regression files into this directory")

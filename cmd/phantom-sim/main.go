@@ -57,7 +57,7 @@ type view struct {
 
 func main() {
 	c := cli.New("phantom-sim",
-		cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore)
+		cli.FlagQuiet|cli.FlagScheduler|cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagShards)
 	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
 	svgDir := flag.String("svg", "", "write SVG figures into this directory")
 	csvPath := flag.String("csv", "", "write all series as CSV to this file")
@@ -85,6 +85,9 @@ func main() {
 		cfg.Scheduler = c.Scheduler
 		cfg.Trace = tr
 		cfg.Telemetry = reg
+		if c.Shards != 0 {
+			cfg.Shards = c.Shards
+		}
 		n, err := scenario.BuildGraph(cfg)
 		if err != nil {
 			c.Fatal(err)
@@ -99,6 +102,9 @@ func main() {
 		cfg.Scheduler = c.Scheduler
 		cfg.Trace = tr
 		cfg.Telemetry = reg
+		if c.Shards != 0 {
+			cfg.Shards = c.Shards
+		}
 		n, err := scenario.BuildATM(cfg)
 		if err != nil {
 			c.Fatal(err)

@@ -68,7 +68,7 @@ import (
 func main() {
 	c := cli.New("phantom-suite",
 		cli.FlagFilter|cli.FlagWorkers|cli.FlagDuration|cli.FlagQuick|cli.FlagJSON|cli.FlagScheduler|
-			cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagHTTP|cli.FlagSubmit)
+			cli.FlagProfile|cli.FlagTelemetry|cli.FlagTrace|cli.FlagStore|cli.FlagHTTP|cli.FlagSubmit|cli.FlagShards)
 	var (
 		goldenDir    = flag.String("golden", "testdata/golden", "golden baseline directory")
 		updateGolden = flag.Bool("update-golden", false, "rewrite golden baselines from this run")
@@ -114,6 +114,7 @@ func run(c *cli.Common, goldenDir string, updateGolden bool, sweep int, list, ve
 		Workers:   c.Workers,
 		Scheduler: string(c.Scheduler),
 		Telemetry: c.Telemetry,
+		Shards:    c.Shards,
 	}
 
 	var rep *api.Report

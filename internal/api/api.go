@@ -68,6 +68,11 @@ type JobSpec struct {
 	// Telemetry gives every run a private counter registry; per-run
 	// snapshots ride the results and fleet totals ride the stats.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Shards splits each run's topology across N engines under the
+	// conservative epoch-barrier protocol (0 or 1: single-engine). Runs are
+	// bit-identical run-to-run at a fixed shard count; the golden suite is
+	// additionally metric-identical across shard counts (DESIGN.md §14).
+	Shards int `json:"shards,omitempty"`
 	// Tag is a free-form client label echoed in job status.
 	Tag string `json:"tag,omitempty"`
 }
@@ -125,6 +130,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("api: negative workers %d", s.Workers)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("api: negative shards %d", s.Shards)
 	}
 	set := 0
 	if s.Suite != nil {

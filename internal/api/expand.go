@@ -105,7 +105,7 @@ func (e *Expansion) expandSuite(env Env, ringCap int) error {
 			return true
 		}
 		for i := 0; i < sweep; i++ {
-			o := exp.Options{Quiet: true, Duration: sim.Duration(s.DurationNS), Scheduler: e.sched}
+			o := exp.Options{Quiet: true, Duration: sim.Duration(s.DurationNS), Scheduler: e.sched, Shards: e.Spec.Shards}
 			if s.Quick && o.Duration == 0 {
 				o.Duration = runner.QuickDuration(d.ID)
 			}
@@ -168,6 +168,17 @@ func (e *Expansion) expandScenario(env Env, ringCap int) error {
 					if out2.Fingerprint != out.Fingerprint {
 						violations = append(violations, scengen.Violation{Name: "determinism", Detail: fmt.Sprintf(
 							"%s and %s runs disagree:\n  %s\nvs\n  %s", sched, other, out.Fingerprint, out2.Fingerprint)})
+					}
+					if out.Shards > 1 {
+						out3, err := scengen.RunSpec(scengen.Unsharded(parsed), sched)
+						if err != nil {
+							return nil, fmt.Errorf("scenario failed single-engine: %w", err)
+						}
+						if out3.DataFingerprint != out.DataFingerprint {
+							violations = append(violations, scengen.Violation{Name: "shard-determinism", Detail: fmt.Sprintf(
+								"%d-shard and single-engine runs disagree:\n  %s\nvs\n  %s",
+								out.Shards, out.DataFingerprint, out3.DataFingerprint)})
+						}
 					}
 				}
 				// The job runs at most once per expansion, on one worker:

@@ -64,6 +64,9 @@ const (
 	// phantom-serve daemon at the given address instead of executing
 	// locally, then stream back the results.
 	FlagSubmit
+	// FlagShards registers -shards: split each scenario's topology across N
+	// engines under the conservative epoch-barrier protocol (DESIGN.md §14).
+	FlagShards
 )
 
 // TraceRingCap is the per-run flight-recorder capacity behind -trace-dir:
@@ -104,6 +107,8 @@ type Common struct {
 	// Submit, when non-empty, is the phantom-serve daemon address the
 	// command's job spec is sent to instead of executing locally.
 	Submit string
+	// Shards is the engine count per scenario (0 or 1 = single-engine).
+	Shards int
 
 	schedulerName string
 	cpuProfile    string
@@ -161,6 +166,10 @@ func New(prog string, flags Flags) *Common {
 		flag.StringVar(&c.Submit, "submit", "",
 			"submit the job to a phantom-serve daemon at this address instead of running locally")
 	}
+	if flags&FlagShards != 0 {
+		flag.IntVar(&c.Shards, "shards", 0,
+			"split each scenario across N engines (conservative PDES; 0 or 1 = single-engine)")
+	}
 	return c
 }
 
@@ -177,6 +186,10 @@ func (c *Common) Parse() {
 	// through to the engine default.
 	if c.schedulerName != "" {
 		c.Scheduler = kind
+	}
+	if c.Shards < 0 {
+		fmt.Fprintf(os.Stderr, "%s: bad -shards: must be ≥ 0, got %d\n", c.prog, c.Shards)
+		os.Exit(2)
 	}
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
@@ -225,6 +238,7 @@ func (c *Common) Options() exp.Options {
 		Duration:  sim.Duration(c.Duration),
 		Quiet:     c.Quiet || c.JSON,
 		Scheduler: c.Scheduler,
+		Shards:    c.Shards,
 	}
 	if c.Telemetry {
 		o.Telemetry = telemetry.New()

@@ -29,6 +29,7 @@ func buildAndRun(cfg scenario.ATMConfig, d sim.Duration, o Options) (*scenario.A
 	cfg.Scheduler = o.Scheduler
 	cfg.Duration = d
 	cfg.Telemetry = o.Telemetry
+	cfg.Shards = o.Shards
 	if cfg.Trace == nil {
 		cfg.Trace = o.Trace
 	}

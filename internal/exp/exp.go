@@ -46,6 +46,12 @@ type Options struct {
 	// rate changes) from every scenario the experiment builds. Like
 	// Telemetry it never alters results.
 	Trace *trace.Tracer
+	// Shards splits every scenario the experiment builds across N engines
+	// under the conservative epoch-barrier protocol (DESIGN.md §14). 0 or 1
+	// runs single-engine. At a fixed shard count runs are bit-identical
+	// run-to-run; across shard counts metric equality holds on the golden
+	// suite but is not a hard contract (see the determinism caveat in §14).
+	Shards int
 }
 
 // Result is an experiment's output.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/atmnet"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/switchalg"
 	"repro/internal/telemetry"
@@ -78,6 +79,16 @@ type ATMConfig struct {
 	// empty picks the default. The choice never changes results — both
 	// backends honor the same (time, seq) order — only run cost.
 	Scheduler sim.SchedulerKind
+	// Shards splits the chain across N engines synchronized by the
+	// conservative epoch-barrier protocol (DESIGN.md §14); 0 or 1 runs the
+	// classic single engine. Auto-partitioning is contiguous balanced
+	// switch ranges, clamped to the switch count. A sharded run is
+	// deterministic at fixed N; metrics match the single-engine run on the
+	// golden suite but the (time, seq) interleaving is N-dependent.
+	Shards int
+	// Partition optionally pins each switch to a shard (length Switches,
+	// values in [0, Shards)); nil auto-partitions.
+	Partition []int
 }
 
 func (c *ATMConfig) setDefaults() {
@@ -121,8 +132,9 @@ type ATMNet struct {
 	trunks        []*atmnet.Link
 	fairShareFns  []func() float64
 	lastDelivered []int64
-	lastSample    sim.Time
-	telFlush      engineFlush
+	plan          *shardPlan
+	trunkShard    []int
+	sessionShard  []int
 }
 
 // samplesHint sizes a sampled series from the planned run length: one point
@@ -203,29 +215,54 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := sim.NewEngine(sim.WithScheduler(sched))
-	n := &ATMNet{Engine: e, Config: cfg}
+	edges := make([]shard.Edge, cfg.Switches-1)
+	for k := range edges {
+		edges[k] = shard.Edge{U: k, V: k + 1, Delay: cfg.TrunkDelay, Name: fmt.Sprintf("F%d", k)}
+	}
+	part, err := resolvePartition(cfg.Switches, cfg.Shards, cfg.Partition,
+		func(s int) shard.Partition { return shard.Linear(cfg.Switches, s) })
+	if err != nil {
+		return nil, err
+	}
+	plan, err := newShardPlan(part, edges, sched, cfg.Telemetry, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	n := &ATMNet{Engine: plan.engines[0], Config: cfg, plan: plan}
 	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
 
 	// Switches. Instrument is called unconditionally throughout the build:
 	// a nil registry hands out inert handles, so the wiring has no
-	// telemetry-enabled branch.
+	// telemetry-enabled branch. Each switch instruments into its owning
+	// shard's registry (the caller's own registry when unsharded).
 	for i := 0; i < cfg.Switches; i++ {
 		sw := atmnet.NewSwitch(fmt.Sprintf("S%d", i))
-		sw.Instrument(cfg.Telemetry)
+		sw.Instrument(plan.regFor(i))
 		n.Switches = append(n.Switches, sw)
 	}
 
 	// Trunks: forward F_k: S_k→S_k+1 with the algorithm; reverse R_k:
-	// S_k+1→S_k plain (it carries only backward RM cells here).
+	// S_k+1→S_k plain (it carries only backward RM cells here). A trunk
+	// whose endpoints live on different shards is a cut link: it keeps its
+	// line rate (transmission pacing is shard-local) but hands finished
+	// cells to a conduit with zero link delay; the conduit re-applies the
+	// real propagation delay on the far shard, so arrival times are
+	// identical to the single-engine wiring.
 	fwdPorts := make([]*atmnet.Port, cfg.Switches-1)
 	revPorts := make([]*atmnet.Port, cfg.Switches-1)
 	for k := 0; k < cfg.Switches-1; k++ {
 		trunkCPS := atm.CPS(n.trunkRateBPS(k))
-		fl := atmnet.NewLink(fmt.Sprintf("F%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k+1])
-		rl := atmnet.NewLink(fmt.Sprintf("R%d", k), trunkCPS, cfg.TrunkDelay, n.Switches[k])
-		fl.Instrument(cfg.Telemetry)
-		rl.Instrument(cfg.Telemetry)
+		fDelay, rDelay := cfg.TrunkDelay, cfg.TrunkDelay
+		var fDst, rDst atm.Sink = n.Switches[k+1], n.Switches[k]
+		if plan.part.Cut(k, k+1) {
+			fDst = plan.group.NewConduit(fmt.Sprintf("F%d", k), cfg.TrunkDelay, plan.engineFor(k+1), n.Switches[k+1])
+			rDst = plan.group.NewConduit(fmt.Sprintf("R%d", k), cfg.TrunkDelay, plan.engineFor(k), n.Switches[k])
+			fDelay, rDelay = 0, 0
+		}
+		fl := atmnet.NewLink(fmt.Sprintf("F%d", k), trunkCPS, fDelay, fDst)
+		rl := atmnet.NewLink(fmt.Sprintf("R%d", k), trunkCPS, rDelay, rDst)
+		fl.Instrument(plan.regFor(k))
+		rl.Instrument(plan.regFor(k + 1))
 		// Seeds are assigned unconditionally so a TransientLoss event that
 		// turns loss on mid-run draws from a deterministic stream.
 		fl.LossSeed = uint64(2*k + 1)
@@ -238,10 +275,11 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		if cfg.Alg != nil {
 			alg = cfg.Alg()
 		}
-		instrumentAlg(alg, cfg.Telemetry)
-		fwdPorts[k] = n.Switches[k].AddPort(e, fl, alg)
-		revPorts[k] = n.Switches[k+1].AddPort(e, rl, nil)
+		instrumentAlg(alg, plan.regFor(k))
+		fwdPorts[k] = n.Switches[k].AddPort(plan.engineFor(k), fl, alg)
+		revPorts[k] = n.Switches[k+1].AddPort(plan.engineFor(k+1), rl, nil)
 		n.trunks = append(n.trunks, fl)
+		n.trunkShard = append(n.trunkShard, plan.shardOf(k))
 		n.TrunkQueue = append(n.TrunkQueue, metrics.AcquireSeries(fmt.Sprintf("queue[%s]", fl.Name), hint))
 		n.PeakTrunkQueue = append(n.PeakTrunkQueue, 0)
 		k := k
@@ -251,9 +289,10 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 			}
 		}
 		if cfg.Trace != nil {
+			tr := plan.traceFor(k)
 			name := fl.Name
 			fl.OnDrop = func(now sim.Time, c atm.Cell) {
-				cfg.Trace.Emit(now, name, "drop",
+				tr.Emit(now, name, "drop",
 					trace.I("vc", int64(c.VC)), trace.S("cell", c.Kind.String()))
 			}
 		}
@@ -267,14 +306,23 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 
 	if len(cfg.Events) > 0 {
 		revLinks := make([]*atmnet.Link, len(revPorts))
+		fwdEng := make([]*sim.Engine, len(revPorts))
+		revEng := make([]*sim.Engine, len(revPorts))
+		fwdTr := make([]*trace.Tracer, len(revPorts))
 		for k, p := range revPorts {
 			revLinks[k] = p.Link
+			fwdEng[k] = plan.engineFor(k)
+			revEng[k] = plan.engineFor(k + 1)
+			fwdTr[k] = plan.traceFor(k)
 		}
-		scheduleEvents(e, cfg.Events, n.trunks, revLinks, cfg.Trace)
+		scheduleEvents(cfg.Events, n.trunks, revLinks, fwdEng, revEng, fwdTr)
 	}
 
 	// Sessions: source → access → S_entry … S_exit → access → dest, with
 	// the reverse path dest → S_exit … S_entry → source for backward RM.
+	// End systems are colocated with their switch: the source side lives on
+	// S_entry's shard, the destination side on S_exit's — access links
+	// never cross shards, only trunks do.
 	accessCPS := atm.CPS(cfg.AccessRateBPS)
 	for i, spec := range cfg.Sessions {
 		vc := atm.VCID(i + 1)
@@ -282,30 +330,32 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		if spec.Params != nil {
 			params = *spec.Params
 		}
+		entryEng, exitEng := plan.engineFor(spec.Entry), plan.engineFor(spec.Exit)
+		entryReg, exitReg := plan.regFor(spec.Entry), plan.regFor(spec.Exit)
 
 		// Egress: S_exit → dest (forward), dest → S_exit (reverse).
 		entrySw, exitSw := n.Switches[spec.Entry], n.Switches[spec.Exit]
 		toDest := atmnet.NewLink(fmt.Sprintf("out%d", i), accessCPS, cfg.AccessDelay, nil)
-		toDest.Instrument(cfg.Telemetry)
+		toDest.Instrument(exitReg)
 		var egressAlg switchalg.Algorithm
 		if cfg.Alg != nil {
 			egressAlg = cfg.Alg()
 		}
-		instrumentAlg(egressAlg, cfg.Telemetry)
-		egressPort := exitSw.AddPort(e, toDest, egressAlg)
+		instrumentAlg(egressAlg, exitReg)
+		egressPort := exitSw.AddPort(exitEng, toDest, egressAlg)
 		fromDest := atmnet.NewLink(fmt.Sprintf("destrev%d", i), accessCPS, cfg.AccessDelay, exitSw)
-		fromDest.Instrument(cfg.Telemetry)
+		fromDest.Instrument(exitReg)
 		dest := atm.NewDest(vc, fromDest)
 		toDest.Dst = dest
 
 		// Ingress: source → S_entry (forward), S_entry → source (reverse).
 		toEntry := atmnet.NewLink(fmt.Sprintf("in%d", i), accessCPS, cfg.AccessDelay, entrySw)
-		toEntry.Instrument(cfg.Telemetry)
+		toEntry.Instrument(entryReg)
 		src := atm.NewSource(vc, params, spec.Pattern, toEntry)
-		src.Instrument(cfg.Telemetry)
+		src.Instrument(entryReg)
 		toSource := atmnet.NewLink(fmt.Sprintf("srcrev%d", i), accessCPS, cfg.AccessDelay, src)
-		toSource.Instrument(cfg.Telemetry)
-		ingressRevPort := entrySw.AddPort(e, toSource, nil)
+		toSource.Instrument(entryReg)
+		ingressRevPort := entrySw.AddPort(entryEng, toSource, nil)
 
 		// Routes through every switch on the path.
 		for k := spec.Entry; k <= spec.Exit; k++ {
@@ -325,10 +375,11 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 
 		acr := metrics.AcquireSeries(fmt.Sprintf("ACR[%s]", spec.Name), hint)
 		if cfg.Trace != nil {
+			tr := plan.traceFor(spec.Entry)
 			name := spec.Name
 			src.OnRateChange = func(now sim.Time, r float64) {
 				acr.Add(now, r)
-				cfg.Trace.Emit(now, name, "rate", trace.F("acr", r))
+				tr.Emit(now, name, "rate", trace.F("acr", r))
 			}
 		} else {
 			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
@@ -338,22 +389,31 @@ func BuildATM(cfg ATMConfig) (*ATMNet, error) {
 		n.Sources = append(n.Sources, src)
 		n.Dests = append(n.Dests, dest)
 		n.lastDelivered = append(n.lastDelivered, 0)
+		n.sessionShard = append(n.sessionShard, plan.shardOf(spec.Exit))
 
-		if err := src.Start(e); err != nil {
+		if err := src.Start(entryEng); err != nil {
 			return nil, fmt.Errorf("scenario: session %d: %w", i, err)
 		}
 	}
 
-	// Periodic sampler for goodput, queue and fair-share series.
-	e.Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(en.Now()) })
+	// Periodic sampler for goodput, queue and fair-share series: one per
+	// shard, each sampling only the components its engine owns, so series
+	// stay single-writer under the sharded run.
+	for s := 0; s < plan.part.Shards; s++ {
+		s := s
+		plan.engines[s].Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(s, en.Now()) })
+	}
 	return n, nil
 }
 
-// sample records one point on every sampled series.
-func (n *ATMNet) sample(now sim.Time) {
-	dt := now.Sub(n.lastSample).Seconds()
-	n.lastSample = now
+// sample records one point on every sampled series owned by shard s.
+func (n *ATMNet) sample(s int, now sim.Time) {
+	dt := now.Sub(n.plan.lastSamples[s]).Seconds()
+	n.plan.lastSamples[s] = now
 	for i, d := range n.Dests {
+		if n.sessionShard[i] != s {
+			continue
+		}
 		cur := d.DataCells()
 		if dt > 0 {
 			n.Goodput[i].Add(now, float64(cur-n.lastDelivered[i])/dt)
@@ -361,6 +421,9 @@ func (n *ATMNet) sample(now sim.Time) {
 		n.lastDelivered[i] = cur
 	}
 	for k, l := range n.trunks {
+		if n.trunkShard[k] != s {
+			continue
+		}
 		n.TrunkQueue[k].Add(now, float64(l.QueueLen()))
 		if fn := n.fairShareFns[k]; fn != nil {
 			n.FairShare[k].Add(now, fn())
@@ -369,11 +432,33 @@ func (n *ATMNet) sample(now sim.Time) {
 }
 
 // Run executes the scenario for d of simulated time (cumulative across
-// calls) and folds the engine's event statistics into the telemetry
-// registry.
+// calls) and folds the engines' event statistics into the telemetry
+// registry. Sharded scenarios advance under the epoch-barrier protocol;
+// the caller's goroutine coordinates and owns all merged observability.
 func (n *ATMNet) Run(d sim.Duration) {
-	n.Engine.RunUntil(n.Engine.Now().Add(d))
-	n.telFlush.flush(n.Config.Telemetry, n.Engine)
+	n.plan.run(d)
+	n.plan.flush()
+}
+
+// Shards returns the run's effective shard count (1 when unsharded).
+func (n *ATMNet) Shards() int { return n.plan.part.Shards }
+
+// ShardStats returns the epoch-barrier accounting of a sharded run; ok is
+// false for single-engine runs.
+func (n *ATMNet) ShardStats() (shard.Stats, bool) {
+	if n.plan.group == nil {
+		return shard.Stats{}, false
+	}
+	return n.plan.group.Stat(), true
+}
+
+// FiredTotal returns the events fired across every shard engine.
+func (n *ATMNet) FiredTotal() uint64 {
+	var total uint64
+	for _, e := range n.plan.engines {
+		total += e.Fired()
+	}
+	return total
 }
 
 // trunkRateBPS returns trunk k's configured line rate.

@@ -61,29 +61,57 @@ func validateEvents(events []TransientEvent, nLinks int) error {
 	return nil
 }
 
-// scheduleEvents installs the transient schedule on the engine. fwd and rev
-// are the two directions of each trunk (rev may contain nils for edges with
-// no reverse link).
-func scheduleEvents(e *sim.Engine, events []TransientEvent, fwd, rev []*atmnet.Link, tr *trace.Tracer) {
+// applyTransient mutates one link per the event.
+func applyTransient(l *atmnet.Link, ev TransientEvent) {
+	switch ev.Kind {
+	case TransientRate:
+		l.RateCPS = atm.CPS(ev.Value)
+	case TransientLoss:
+		l.LossRate = ev.Value
+	}
+}
+
+// scheduleEvents installs the transient schedule. fwd and rev are the two
+// directions of each trunk (rev may contain nils for edges with no reverse
+// link); fwdEng/revEng are the engines owning each direction and fwdTr the
+// tracer of the forward half's shard (nil when tracing is off). When both
+// halves share an engine — always true unsharded — one event mutates both,
+// exactly the pre-sharding schedule; a cut trunk gets one event per shard,
+// each applied by the engine that owns that half.
+func scheduleEvents(events []TransientEvent, fwd, rev []*atmnet.Link, fwdEng, revEng []*sim.Engine, fwdTr []*trace.Tracer) {
 	for _, ev := range events {
 		ev := ev
-		links := []*atmnet.Link{fwd[ev.Index]}
-		if rev != nil && rev[ev.Index] != nil {
-			links = append(links, rev[ev.Index])
+		k := ev.Index
+		fl := fwd[k]
+		var rl *atmnet.Link
+		if rev != nil {
+			rl = rev[k]
 		}
-		e.At(sim.Time(ev.At), func(en *sim.Engine) {
-			for _, l := range links {
-				switch ev.Kind {
-				case TransientRate:
-					l.RateCPS = atm.CPS(ev.Value)
-				case TransientLoss:
-					l.LossRate = ev.Value
-				}
+		tr := fwdTr[k]
+		if rl == nil || revEng[k] == fwdEng[k] {
+			links := []*atmnet.Link{fl}
+			if rl != nil {
+				links = append(links, rl)
 			}
+			fwdEng[k].At(sim.Time(ev.At), func(en *sim.Engine) {
+				for _, l := range links {
+					applyTransient(l, ev)
+				}
+				if tr != nil {
+					tr.Emit(en.Now(), fl.Name, "transient",
+						trace.S("kind", string(ev.Kind)), trace.F("value", ev.Value))
+				}
+			})
+			continue
+		}
+		fwdEng[k].At(sim.Time(ev.At), func(en *sim.Engine) {
+			applyTransient(fl, ev)
 			if tr != nil {
-				tr.Emit(en.Now(), fwd[ev.Index].Name, "transient",
+				tr.Emit(en.Now(), fl.Name, "transient",
 					trace.S("kind", string(ev.Kind)), trace.F("value", ev.Value))
 			}
 		})
+		rl2 := rl
+		revEng[k].At(sim.Time(ev.At), func(en *sim.Engine) { applyTransient(rl2, ev) })
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/atmnet"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/switchalg"
 	"repro/internal/telemetry"
@@ -75,6 +76,14 @@ type GraphConfig struct {
 	Sessions  []GraphSessionSpec
 	// Scheduler selects the engine's calendar backend; empty is the default.
 	Scheduler sim.SchedulerKind
+	// Shards splits the topology across N engines under the conservative
+	// epoch-barrier protocol (DESIGN.md §14); 0 or 1 runs single-engine.
+	// Auto-partitioning is the greedy min-cut over edge delays
+	// (shard.Auto), clamped to the node count.
+	Shards int
+	// Partition optionally pins each node to a shard (length Nodes, values
+	// in [0, Shards)); nil auto-partitions.
+	Partition []int
 }
 
 func (c *GraphConfig) setDefaults() {
@@ -147,8 +156,9 @@ type GraphNet struct {
 	links         []*atmnet.Link // directed links, 2 per edge
 	fairShareFns  []func() float64
 	lastDelivered []int64
-	lastSample    sim.Time
-	telFlush      engineFlush
+	plan          *shardPlan
+	linkShard     []int // directed link -> owning shard (its source node's)
+	sessionShard  []int // session -> owning shard (its Dst node's)
 }
 
 // bfsPath returns the shortest Src→Dst path as node indices, using the
@@ -218,8 +228,20 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := sim.NewEngine(sim.WithScheduler(sched))
-	n := &GraphNet{Engine: e, Config: cfg}
+	sedges := make([]shard.Edge, len(cfg.Edges))
+	for k, ed := range cfg.Edges {
+		sedges[k] = shard.Edge{U: ed.U, V: ed.V, Delay: cfg.EdgeDelay(k), Name: fmt.Sprintf("L%d.%d-%d", k, ed.U, ed.V)}
+	}
+	part, err := resolvePartition(cfg.Nodes, cfg.Shards, cfg.Partition,
+		func(s int) shard.Partition { return shard.Auto(cfg.Nodes, sedges, s) })
+	if err != nil {
+		return nil, err
+	}
+	plan, err := newShardPlan(part, sedges, sched, cfg.Telemetry, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	n := &GraphNet{Engine: plan.engines[0], Config: cfg, plan: plan}
 	hint := samplesHint(cfg.Duration, cfg.SampleEvery)
 
 	// Route every session first: only directed links on some forward path
@@ -260,16 +282,20 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		sw := atmnet.NewSwitch(fmt.Sprintf("N%d", i))
-		sw.Instrument(cfg.Telemetry)
+		sw.Instrument(plan.regFor(i))
 		n.Switches = append(n.Switches, sw)
 	}
 
 	// Directed links and their ports. Both directions always exist (the
 	// reverse direction carries backward RM cells even when no session is
 	// routed over it), but only used forward directions get an algorithm
-	// and recorded series.
+	// and recorded series. A direction whose endpoints live on different
+	// shards is a cut link: transmission pacing stays on the owning shard,
+	// the propagation delay moves into a conduit drained at epoch barriers
+	// (same arrival times as the single-engine wiring).
 	ports := make([]*atmnet.Port, 2*len(cfg.Edges))
 	n.links = make([]*atmnet.Link, 2*len(cfg.Edges))
+	n.linkShard = make([]int, 2*len(cfg.Edges))
 	n.LinkQueue = make([]*metrics.Series, 2*len(cfg.Edges))
 	n.FairShare = make([]*metrics.Series, 2*len(cfg.Edges))
 	n.PeakLinkQueue = make([]int, 2*len(cfg.Edges))
@@ -284,8 +310,15 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 			if dir == 1 {
 				from, to = ed.V, ed.U
 			}
-			l := atmnet.NewLink(fmt.Sprintf("L%d.%d-%d", k, from, to), cps, delay, n.Switches[to])
-			l.Instrument(cfg.Telemetry)
+			name := fmt.Sprintf("L%d.%d-%d", k, from, to)
+			linkDelay := delay
+			var dst atm.Sink = n.Switches[to]
+			if plan.part.Cut(from, to) {
+				dst = plan.group.NewConduit(name, delay, plan.engineFor(to), n.Switches[to])
+				linkDelay = 0
+			}
+			l := atmnet.NewLink(name, cps, linkDelay, dst)
+			l.Instrument(plan.regFor(from))
 			l.LossSeed = uint64(2*k + dir + 1)
 			if cfg.TrunkLossRate > 0 {
 				l.LossRate = cfg.TrunkLossRate
@@ -295,9 +328,10 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 			if usedFwd[idx] && cfg.Alg != nil {
 				alg = cfg.Alg()
 			}
-			instrumentAlg(alg, cfg.Telemetry)
-			ports[idx] = n.Switches[from].AddPort(e, l, alg)
+			instrumentAlg(alg, plan.regFor(from))
+			ports[idx] = n.Switches[from].AddPort(plan.engineFor(from), l, alg)
 			n.links[idx] = l
+			n.linkShard[idx] = plan.shardOf(from)
 			if usedFwd[idx] {
 				n.LinkQueue[idx] = metrics.AcquireSeries(fmt.Sprintf("queue[%s]", l.Name), hint)
 				idx := idx
@@ -307,9 +341,10 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 					}
 				}
 				if cfg.Trace != nil {
+					tr := plan.traceFor(from)
 					name := l.Name
 					l.OnDrop = func(now sim.Time, c atm.Cell) {
-						cfg.Trace.Emit(now, name, "drop",
+						tr.Emit(now, name, "drop",
 							trace.I("vc", int64(c.VC)), trace.S("cell", c.Kind.String()))
 					}
 				}
@@ -326,7 +361,15 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 		}
 	}
 	if len(cfg.Events) > 0 {
-		scheduleEvents(e, cfg.Events, fwdHalf, revHalf, cfg.Trace)
+		fwdEng := make([]*sim.Engine, len(cfg.Edges))
+		revEng := make([]*sim.Engine, len(cfg.Edges))
+		fwdTr := make([]*trace.Tracer, len(cfg.Edges))
+		for k, ed := range cfg.Edges {
+			fwdEng[k] = plan.engineFor(ed.U)
+			revEng[k] = plan.engineFor(ed.V)
+			fwdTr[k] = plan.traceFor(ed.U)
+		}
+		scheduleEvents(cfg.Events, fwdHalf, revHalf, fwdEng, revEng, fwdTr)
 	}
 
 	// Sessions: source → access → N_src … N_dst → access → dest, with the
@@ -340,27 +383,29 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 		}
 		path := n.Paths[i]
 		srcSw, dstSw := n.Switches[spec.Src], n.Switches[spec.Dst]
+		srcEng, dstEng := plan.engineFor(spec.Src), plan.engineFor(spec.Dst)
+		srcReg, dstReg := plan.regFor(spec.Src), plan.regFor(spec.Dst)
 
 		toDest := atmnet.NewLink(fmt.Sprintf("out%d", i), accessCPS, cfg.AccessDelay, nil)
-		toDest.Instrument(cfg.Telemetry)
+		toDest.Instrument(dstReg)
 		var egressAlg switchalg.Algorithm
 		if cfg.Alg != nil {
 			egressAlg = cfg.Alg()
 		}
-		instrumentAlg(egressAlg, cfg.Telemetry)
-		egressPort := dstSw.AddPort(e, toDest, egressAlg)
+		instrumentAlg(egressAlg, dstReg)
+		egressPort := dstSw.AddPort(dstEng, toDest, egressAlg)
 		fromDest := atmnet.NewLink(fmt.Sprintf("destrev%d", i), accessCPS, cfg.AccessDelay, dstSw)
-		fromDest.Instrument(cfg.Telemetry)
+		fromDest.Instrument(dstReg)
 		dest := atm.NewDest(vc, fromDest)
 		toDest.Dst = dest
 
 		toEntry := atmnet.NewLink(fmt.Sprintf("in%d", i), accessCPS, cfg.AccessDelay, srcSw)
-		toEntry.Instrument(cfg.Telemetry)
+		toEntry.Instrument(srcReg)
 		src := atm.NewSource(vc, params, spec.Pattern, toEntry)
-		src.Instrument(cfg.Telemetry)
+		src.Instrument(srcReg)
 		toSource := atmnet.NewLink(fmt.Sprintf("srcrev%d", i), accessCPS, cfg.AccessDelay, src)
-		toSource.Instrument(cfg.Telemetry)
-		ingressRevPort := srcSw.AddPort(e, toSource, nil)
+		toSource.Instrument(srcReg)
+		ingressRevPort := srcSw.AddPort(srcEng, toSource, nil)
 
 		// Routes: at hop j, forward exits towards hop j+1 (or the egress
 		// access link at the last hop); backward RM exits towards hop j−1
@@ -382,10 +427,11 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 
 		acr := metrics.AcquireSeries(fmt.Sprintf("ACR[%s]", spec.Name), hint)
 		if cfg.Trace != nil {
+			tr := plan.traceFor(spec.Src)
 			name := spec.Name
 			src.OnRateChange = func(now sim.Time, r float64) {
 				acr.Add(now, r)
-				cfg.Trace.Emit(now, name, "rate", trace.F("acr", r))
+				tr.Emit(now, name, "rate", trace.F("acr", r))
 			}
 		} else {
 			src.OnRateChange = func(now sim.Time, r float64) { acr.Add(now, r) }
@@ -395,32 +441,41 @@ func BuildGraph(cfg GraphConfig) (*GraphNet, error) {
 		n.Sources = append(n.Sources, src)
 		n.Dests = append(n.Dests, dest)
 		n.lastDelivered = append(n.lastDelivered, 0)
+		n.sessionShard = append(n.sessionShard, plan.shardOf(spec.Dst))
 
-		if err := src.Start(e); err != nil {
+		if err := src.Start(srcEng); err != nil {
 			return nil, fmt.Errorf("scenario: session %d: %w", i, err)
 		}
 	}
 
-	e.Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(en.Now()) })
+	// Every shard samples the state it owns at the same simulated instants,
+	// so the merged series are indistinguishable from a single sampler's.
+	for s := 0; s < plan.part.Shards; s++ {
+		s := s
+		plan.engines[s].Every(cfg.SampleEvery, func(en *sim.Engine) { n.sample(s, en.Now()) })
+	}
 	return n, nil
 }
 
-// sample records one point on every active sampled series.
-func (n *GraphNet) sample(now sim.Time) {
-	dt := now.Sub(n.lastSample).Seconds()
-	n.lastSample = now
+// sample records one point on shard s's share of the sampled series.
+func (n *GraphNet) sample(s int, now sim.Time) {
+	dt := now.Sub(n.plan.lastSamples[s]).Seconds()
+	n.plan.lastSamples[s] = now
 	for i, d := range n.Dests {
+		if n.sessionShard[i] != s {
+			continue
+		}
 		cur := d.DataCells()
 		if dt > 0 {
 			n.Goodput[i].Add(now, float64(cur-n.lastDelivered[i])/dt)
 		}
 		n.lastDelivered[i] = cur
 	}
-	for l, s := range n.LinkQueue {
-		if s == nil {
+	for l, series := range n.LinkQueue {
+		if series == nil || n.linkShard[l] != s {
 			continue
 		}
-		s.Add(now, float64(n.links[l].QueueLen()))
+		series.Add(now, float64(n.links[l].QueueLen()))
 		if fn := n.fairShareFns[l]; fn != nil {
 			n.FairShare[l].Add(now, fn())
 		}
@@ -430,8 +485,33 @@ func (n *GraphNet) sample(now sim.Time) {
 // Run executes the scenario for d of simulated time (cumulative across
 // calls).
 func (n *GraphNet) Run(d sim.Duration) {
-	n.Engine.RunUntil(n.Engine.Now().Add(d))
-	n.telFlush.flush(n.Config.Telemetry, n.Engine)
+	n.plan.run(d)
+	n.plan.flush()
+}
+
+// Shards returns the number of engines the scenario runs on.
+func (n *GraphNet) Shards() int { return n.plan.part.Shards }
+
+// ShardStats returns the sync-protocol statistics; ok is false when the
+// scenario runs single-engine.
+func (n *GraphNet) ShardStats() (shard.Stats, bool) {
+	if n.plan.group == nil {
+		return shard.Stats{}, false
+	}
+	return n.plan.group.Stat(), true
+}
+
+// FiredTotal returns the total number of events fired across all engines —
+// a scheduler-level fingerprint input that, unlike per-engine counts, is
+// comparable between sharded and single-engine runs only in aggregate trends
+// (cross-shard delivery adds conduit events), so callers wanting
+// shard-invariant fingerprints should hash data-plane metrics instead.
+func (n *GraphNet) FiredTotal() uint64 {
+	var t uint64
+	for _, e := range n.plan.engines {
+		t += uint64(e.Fired())
+	}
+	return t
 }
 
 // Release returns every recorded series' storage to the metrics pool. The

@@ -252,6 +252,17 @@ func runOne(fam Family, index int, seed uint64, sched sim.SchedulerKind, crossCh
 			violations = append(violations, Violation{"determinism", fmt.Sprintf(
 				"%s and %s runs disagree:\n  %s\nvs\n  %s", sched, other, o.Fingerprint, o2.Fingerprint)})
 		}
+		if o.Shards > 1 {
+			o3, err := RunSpec(Unsharded(spec), sched)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s[%d] failed single-engine: %w", fam, index, err)
+			}
+			if o3.DataFingerprint != o.DataFingerprint {
+				violations = append(violations, Violation{"shard-determinism", fmt.Sprintf(
+					"%d-shard and single-engine runs disagree:\n  %s\nvs\n  %s",
+					o.Shards, o.DataFingerprint, o3.DataFingerprint)})
+			}
+		}
 	}
 
 	if len(violations) == 0 {
@@ -265,6 +276,20 @@ func runOne(fam Family, index int, seed uint64, sched sim.SchedulerKind, crossCh
 		}
 	}
 	return f, nil
+}
+
+// Unsharded returns a copy of spec with the sharding directives cleared, so
+// the same scenario runs single-engine — the reference side of the
+// sharded-vs-unsharded cross-check.
+func Unsharded(spec *simconfig.Spec) *simconfig.Spec {
+	un := *spec
+	un.Config.Shards, un.Config.Partition = 0, nil
+	if spec.Graph != nil {
+		g := *spec.Graph
+		g.Shards, g.Partition = 0, nil
+		un.Graph = &g
+	}
+	return &un
 }
 
 // Summary renders a campaign report as stable, human-readable text.

@@ -45,11 +45,17 @@ const (
 	// Transient draws small scenarios with mid-run rate cuts, restorations
 	// and loss onset.
 	Transient Family = "transient"
+	// ShardedMesh draws large partition-annotated WAN meshes: a Waxman-like
+	// topology with wide propagation delays (so the cut has real lookahead)
+	// plus shards/partition directives, sized for the sharded runtime. Under
+	// -crosscheck every draw is re-run single-engine and the data-plane
+	// fingerprints diffed, fuzzing the sharded-vs-unsharded equality claim.
+	ShardedMesh Family = "shardedmesh"
 )
 
 // Families lists every generator family in its canonical order.
 func Families() []Family {
-	return []Family{ParkingLot, FatTree, Waxman, FlashCrowd, WebMix, Transient}
+	return []Family{ParkingLot, FatTree, Waxman, FlashCrowd, WebMix, Transient, ShardedMesh}
 }
 
 // ParseFamily resolves a family name.
@@ -111,6 +117,8 @@ func Generate(f Family, seed uint64) (*simconfig.Spec, string, error) {
 		text = genWebMix(rng)
 	case Transient:
 		text = genTransient(rng)
+	case ShardedMesh:
+		text = genShardedMesh(rng)
 	default:
 		return nil, "", fmt.Errorf("scengen: unknown family %q", f)
 	}
@@ -359,6 +367,65 @@ func genTransient(rng *workload.RNG) string {
 			}
 			fmt.Fprintf(&b, "at %s rate %d %d\n", durMS(at), trunk, cut)
 		}
+	}
+	fmt.Fprintf(&b, "duration %s\n", durMS(dur))
+	return b.String()
+}
+
+// genShardedMesh draws the sharded-runtime stress shape: a larger Waxman
+// mesh whose every edge carries a WAN-scale delay (hundreds of µs), so any
+// cut yields a lookahead window worth thousands of cell times, annotated
+// with a shards directive and — half the time — an explicit partition.
+func genShardedMesh(rng *workload.RNG) string {
+	var b strings.Builder
+	nodes := 10 + rng.Intn(11) // 10..20
+	dur := 150 + 50*rng.Intn(3)
+	shards := 2 + rng.Intn(3) // 2..4
+	fmt.Fprintf(&b, "nodes %d\n", nodes)
+	type edge struct{ u, v int }
+	var edges []edge
+	have := map[edge]bool{}
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		e := edge{u, v}
+		if u != v && !have[e] {
+			have[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for v := 1; v < nodes; v++ {
+		addEdge(rng.Intn(v), v)
+	}
+	extra := nodes / 3
+	for i := 0; i < extra; i++ {
+		addEdge(rng.Intn(nodes), rng.Intn(nodes))
+	}
+	for _, e := range edges {
+		// WAN-scale propagation: 200µs..1ms keeps every possible cut's
+		// lookahead ≥ ~70 cell times at 150 Mb/s.
+		fmt.Fprintf(&b, "edge %d %d rate=%d delay=%dus\n",
+			e.u, e.v, trunkRates[rng.Intn(len(trunkRates))], 200+100*rng.Intn(9))
+	}
+	b.WriteString("alg phantom u=5\n")
+	fmt.Fprintf(&b, "shards %d\n", shards)
+	if rng.Intn(2) == 0 {
+		// Explicit contiguous partition; otherwise the auto partitioner runs.
+		b.WriteString("partition")
+		for i := 0; i < nodes; i++ {
+			fmt.Fprintf(&b, " %d", i*shards/nodes)
+		}
+		b.WriteByte('\n')
+	}
+	n := 4 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes)
+		if src == dst {
+			dst = (dst + 1) % nodes
+		}
+		fmt.Fprintf(&b, "session s%d %d %d %s\n", i, src, dst, pattern(rng, dur))
 	}
 	fmt.Fprintf(&b, "duration %s\n", durMS(dur))
 	return b.String()

@@ -65,8 +65,16 @@ type Outcome struct {
 	AllGreedy     bool
 	AllStopped    bool
 
-	Fired       uint64
-	Fingerprint string
+	Fired uint64
+	// Fingerprint folds every observable total, including the scheduler's
+	// fired-event count; equal fingerprints mean equal runs on the same
+	// shard count. DataFingerprint drops the event count — cross-shard
+	// delivery adds conduit events, so it is the shard-invariant form used
+	// to cross-check sharded against single-engine runs.
+	Fingerprint     string
+	DataFingerprint string
+	// Shards is the engine count the spec requested (0 or 1: single).
+	Shards int
 }
 
 // StopMargin is how long before the end every session must have stopped for
@@ -196,7 +204,8 @@ func RunSpecObserved(spec *simconfig.Spec, sched sim.SchedulerKind, obs Observe)
 			views = append(views, sessionView{s.Name, s.Pattern})
 			o.extractSession(net.Sources[i], net.Dests[i], net.Goodput[i], net.ACR[i], net.MeanGoodputCPS(i))
 		}
-		o.Fired = net.Engine.Fired()
+		o.Fired = net.FiredTotal()
+		o.Shards = net.Shards()
 		net.Release()
 	} else {
 		cfg := spec.Config
@@ -234,7 +243,8 @@ func RunSpecObserved(spec *simconfig.Spec, sched sim.SchedulerKind, obs Observe)
 			views = append(views, sessionView{s.Name, s.Pattern})
 			o.extractSession(net.Sources[i], net.Dests[i], net.Goodput[i], net.ACR[i], net.MeanGoodputCPS(i))
 		}
-		o.Fired = net.Engine.Fired()
+		o.Fired = net.FiredTotal()
+		o.Shards = net.Shards()
 		net.Release()
 	}
 
@@ -254,7 +264,8 @@ func RunSpecObserved(spec *simconfig.Spec, sched sim.SchedulerKind, obs Observe)
 		}
 	}
 	o.solveOracles()
-	o.Fingerprint = o.fingerprint()
+	o.DataFingerprint = o.fingerprint()
+	o.Fingerprint = fmt.Sprintf("fired=%d %s", o.Fired, o.DataFingerprint)
 	return o, nil
 }
 
@@ -313,13 +324,17 @@ const (
 	settleHold = 20 * sim.Millisecond
 )
 
-// fingerprint folds the run's observable totals into a stable string: equal
-// fingerprints mean equal runs for determinism checking.
+// fingerprint folds the run's data-plane totals into a stable string —
+// per-session cell counts and per-link queue extremes. It deliberately
+// excludes the fired-event count so the result is comparable across shard
+// counts; Fingerprint prepends it for same-shard-count determinism checks.
 func (o *Outcome) fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fired=%d", o.Fired)
 	for i := range o.Sent {
-		fmt.Fprintf(&b, " s%d=%d/%d/%d/%d", i, o.Sent[i], o.Data[i], o.RM[i], o.BackRM[i])
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "s%d=%d/%d/%d/%d", i, o.Sent[i], o.Data[i], o.RM[i], o.BackRM[i])
 	}
 	for l := range o.PeakQueue {
 		fmt.Fprintf(&b, " q%d=%d/%d", l, o.PeakQueue[l], o.EndQueue[l])

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Conduit replaces the delivery half of a cut link. The owning (source)
+// shard builds the cut link with zero link delay and the conduit as its
+// destination, so every transmitted cell lands here synchronously at its
+// transmission-end time; the conduit stamps it with the real propagation
+// delay and parks it until the next epoch barrier, when the Group moves it
+// onto the destination engine as a normal future event. Per-conduit order
+// is FIFO and the delay is constant between transient events, so stamped
+// arrival times are non-decreasing and delivery order equals send order —
+// exactly the wire the conduit replaces.
+type Conduit struct {
+	// Name labels the conduit (the cut link's name) in errors and tests.
+	Name string
+	// Delay is the cut link's real propagation delay.
+	Delay sim.Duration
+	// Dst is the receiving component on the destination shard.
+	Dst atm.Sink
+
+	dst     *sim.Engine
+	pending ring.Ring[crossCell] // written by the source shard's goroutine
+	inbox   ring.Ring[atm.Cell]  // drained by the destination shard's goroutine
+}
+
+type crossCell struct {
+	at   sim.Time
+	cell atm.Cell
+}
+
+// Receive implements atm.Sink on the source shard: it stamps the cell's
+// arrival time and parks it for the next barrier. e is the source shard's
+// engine (the one driving the cut link).
+func (cd *Conduit) Receive(e *sim.Engine, c atm.Cell) {
+	cd.pending.Push(crossCell{at: e.Now().Add(cd.Delay), cell: c})
+}
+
+// Pending returns the number of parked cells (for tests).
+func (cd *Conduit) Pending() int { return cd.pending.Len() }
+
+// conduitDeliver is the typed handler the Group schedules on the
+// destination engine: pop the next crossed cell and hand it to the real
+// destination. FIFO pop is correct because injection order equals arrival
+// order (see the Conduit comment).
+func conduitDeliver(e *sim.Engine, p sim.Payload) {
+	cd := p.Obj.(*Conduit)
+	cd.Dst.Receive(e, cd.inbox.Pop())
+}
+
+// flush moves every parked cell onto the destination engine. Coordinator
+// only, with all shard goroutines parked at the barrier.
+func (cd *Conduit) flush() int {
+	n := cd.pending.Len()
+	for i := 0; i < n; i++ {
+		cc := cd.pending.Pop()
+		cd.inbox.Push(cc.cell)
+		cd.dst.AtFunc(cc.at, conduitDeliver, sim.Payload{Obj: cd})
+	}
+	return n
+}
+
+// Stats is a point-in-time copy of a Group's synchronization accounting.
+type Stats struct {
+	// Epochs is the number of barrier windows executed.
+	Epochs uint64
+	// CellsCrossed counts cells moved between shards at barriers.
+	CellsCrossed uint64
+	// BusyNS[i] is shard i's accumulated wall-clock time inside RunUntil.
+	BusyNS []uint64
+	// CritNS accumulates, per epoch, the maximum per-shard busy time: the
+	// protocol's critical path, i.e. what the wall clock becomes when every
+	// shard has its own core (plus barrier overhead).
+	CritNS uint64
+}
+
+// Group couples the engines of one sharded topology and advances them in
+// lock-step epochs. Build it once per run, register every cut link's
+// conduit, then drive it with Advance — the sharded replacement for
+// Engine.RunUntil.
+type Group struct {
+	engines  []*sim.Engine
+	conduits []*Conduit
+	window   sim.Duration
+
+	epochs       uint64
+	cellsCrossed uint64
+	busyNS       []uint64
+	critNS       uint64
+
+	barrierWaits telemetry.Counter
+	nullMsgs     telemetry.Counter
+	crossedCtr   telemetry.Counter
+	advanceNS    telemetry.Histogram
+}
+
+// NewGroup builds a group over the shard engines. window is the
+// conservative lookahead from Partition.Lookahead (0 means no cut links:
+// epochs span the whole requested horizon). reg, which may be nil,
+// receives the shard.* synchronization counters; it must be the
+// coordinator-owned registry — the caller's, not a shard's.
+func NewGroup(engines []*sim.Engine, window sim.Duration, reg *telemetry.Registry) *Group {
+	return &Group{
+		engines:      engines,
+		window:       window,
+		busyNS:       make([]uint64, len(engines)),
+		barrierWaits: reg.Counter("shard.barrier_waits"),
+		nullMsgs:     reg.Counter("shard.null_messages"),
+		crossedCtr:   reg.Counter("shard.cells_crossed"),
+		advanceNS:    reg.Histogram("shard.advance_ns"),
+	}
+}
+
+// NewConduit registers the crossing for one cut link: cells it receives on
+// the source shard surface at dst on engine dstEngine after delay. Call
+// during the build, before Advance.
+func (g *Group) NewConduit(name string, delay sim.Duration, dstEngine *sim.Engine, dst atm.Sink) *Conduit {
+	cd := &Conduit{Name: name, Delay: delay, Dst: dst, dst: dstEngine}
+	g.conduits = append(g.conduits, cd)
+	return cd
+}
+
+// Window returns the group's lookahead window.
+func (g *Group) Window() sim.Duration { return g.window }
+
+// Conduits returns the registered crossings in drain order.
+func (g *Group) Conduits() []*Conduit { return g.conduits }
+
+// Stat copies the group's accounting.
+func (g *Group) Stat() Stats {
+	busy := make([]uint64, len(g.busyNS))
+	copy(busy, g.busyNS)
+	return Stats{Epochs: g.epochs, CellsCrossed: g.cellsCrossed, BusyNS: busy, CritNS: g.critNS}
+}
+
+// Advance runs every engine from the common current time to now+d in
+// lookahead-bounded epochs. One worker goroutine per shard lives for the
+// duration of the call; the coordinator (the calling goroutine) feeds each
+// epoch's deadline and drains the conduits at every barrier. The channel
+// rendezvous orders every shard write before the coordinator's drain and
+// the drain before the next window, so the protocol needs no locks, and
+// the race detector checks the ordering on every test run.
+//
+// Determinism: within a window each engine is sequential; at a barrier the
+// coordinator drains conduits in registration order, cells in FIFO order,
+// so injected (time, seq) pairs — and therefore the whole run — depend
+// only on the partition, never on goroutine timing.
+func (g *Group) Advance(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := g.engines[0].Now().Add(d)
+	if len(g.engines) == 1 {
+		g.engines[0].RunUntil(end)
+		return
+	}
+
+	type done struct {
+		i    int
+		busy time.Duration
+	}
+	work := make([]chan sim.Time, len(g.engines))
+	doneCh := make(chan done, len(g.engines))
+	var wg sync.WaitGroup
+	for i := range g.engines {
+		work[i] = make(chan sim.Time)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for t := range work[i] {
+				start := time.Now()
+				g.engines[i].RunUntil(t)
+				doneCh <- done{i: i, busy: time.Since(start)}
+			}
+		}(i)
+	}
+
+	for now := g.engines[0].Now(); now < end; now = g.engines[0].Now() {
+		t := end
+		if g.window > 0 {
+			if nt := now.Add(g.window); nt < end {
+				t = nt
+			}
+		}
+		for i := range work {
+			work[i] <- t
+		}
+		var maxBusy time.Duration
+		for range work {
+			dn := <-doneCh
+			g.busyNS[dn.i] += uint64(dn.busy)
+			g.advanceNS.Observe(uint64(dn.busy))
+			if dn.busy > maxBusy {
+				maxBusy = dn.busy
+			}
+		}
+		g.critNS += uint64(maxBusy)
+		g.epochs++
+		g.barrierWaits.Add(uint64(len(g.engines)))
+		// Move crossed cells; an empty conduit flush is the barrier
+		// protocol's equivalent of a CMB null message (a pure "my clock
+		// reached the bound" notification), counted as such.
+		for _, cd := range g.conduits {
+			if n := cd.flush(); n == 0 {
+				g.nullMsgs.Inc()
+			} else {
+				g.cellsCrossed += uint64(n)
+				g.crossedCtr.Add(uint64(n))
+			}
+		}
+	}
+
+	for i := range work {
+		close(work[i])
+	}
+	wg.Wait()
+}

@@ -35,6 +35,7 @@ func Emit(spec *Spec) (string, error) {
 			b.WriteByte('\n')
 		}
 		emitShared(&b, spec, g.TrunkRateBPS, g.TrunkDelay, g.TrunkLossRate)
+		emitSharding(&b, g.Shards, g.Partition)
 		for _, s := range g.Sessions {
 			pat, err := patternText(s.Pattern)
 			if err != nil {
@@ -51,6 +52,7 @@ func Emit(spec *Spec) (string, error) {
 		}
 		fmt.Fprintf(&b, "switches %d\n", switches)
 		emitShared(&b, spec, cfg.TrunkRateBPS, cfg.TrunkDelay, cfg.TrunkLossRate)
+		emitSharding(&b, cfg.Shards, cfg.Partition)
 		for k, v := range cfg.TrunkRatesBPS {
 			if v > 0 {
 				fmt.Fprintf(&b, "trunk %d %s\n", k, mbps(v))
@@ -96,6 +98,20 @@ func emitShared(b *strings.Builder, spec *Spec, rateBPS float64, delay sim.Durat
 		fmt.Fprintf(b, "alg %s\n", spec.AlgName)
 	}
 	fmt.Fprintf(b, "duration %s\n", durText(spec.Duration))
+}
+
+// emitSharding writes the shards/partition directives when set.
+func emitSharding(b *strings.Builder, shards int, partition []int) {
+	if shards > 0 {
+		fmt.Fprintf(b, "shards %d\n", shards)
+	}
+	if partition != nil {
+		b.WriteString("partition")
+		for _, s := range partition {
+			fmt.Fprintf(b, " %d", s)
+		}
+		b.WriteByte('\n')
+	}
 }
 
 // patternText renders a workload pattern in the session-directive syntax.

@@ -17,6 +17,8 @@
 //	at 100ms rate 1 50         # cut trunk 1 to 50 Mb/s at t=100ms
 //	at 200ms loss 0 0.01       # 1% loss on trunk 0 from t=200ms
 //	duration 500ms             # simulated time
+//	shards 2                   # split across 2 engines (optional; DESIGN.md §14)
+//	partition 0 0 1 1          # pin node→shard (optional; default auto-partition)
 //
 // General topologies replace switches/trunk with nodes/edge; sessions then
 // name source and destination nodes and are routed by deterministic
@@ -109,6 +111,8 @@ func Parse(r io.Reader) (*Spec, error) {
 		events         []scenario.TransientEvent
 		edges          []scenario.GraphEdge
 		nodes          int
+		shards         int
+		partition      []int
 		mode           string // "", "linear", "graph"
 		names          = map[string]bool{}
 	)
@@ -310,6 +314,33 @@ func Parse(r io.Reader) (*Spec, error) {
 				return nil, fail("more than %d events", MaxEvents)
 			}
 			events = append(events, ev)
+		case "shards":
+			n, err := atoiField(fields, 1)
+			if err != nil {
+				return nil, fail("shards <n>: %v", err)
+			}
+			if n < 1 || n > MaxNodes {
+				return nil, fail("shards %d out of range [1, %d]", n, MaxNodes)
+			}
+			shards = n
+		case "partition":
+			if len(fields) < 2 {
+				return nil, fail("partition <shard of node 0> <shard of node 1> ...")
+			}
+			if partition != nil {
+				return nil, fail("duplicate partition directive")
+			}
+			partition = make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fail("partition: %v", err)
+				}
+				if v < 0 || v >= MaxNodes {
+					return nil, fail("partition shard %d out of range [0, %d)", v, MaxNodes)
+				}
+				partition = append(partition, v)
+			}
 		case "duration":
 			if len(fields) < 2 {
 				return nil, fail("duration <duration>: missing argument")
@@ -331,18 +362,45 @@ func Parse(r io.Reader) (*Spec, error) {
 	}
 
 	if mode == "graph" {
-		return finishGraph(spec, nodes, edges, sessions, events)
+		return finishGraph(spec, nodes, edges, sessions, events, shards, partition)
 	}
-	return finishLinear(spec, trunkOverrides, sessions, events)
+	return finishLinear(spec, trunkOverrides, sessions, events, shards, partition)
+}
+
+// validatePartition checks the shards/partition directives against the
+// node count once it is known. Shard ids never exceed the node count: a
+// shard needs at least one node to own.
+func validatePartition(nodes, shards int, partition []int) error {
+	if partition == nil {
+		return nil
+	}
+	if len(partition) != nodes {
+		return fmt.Errorf("partition assigns %d of %d nodes", len(partition), nodes)
+	}
+	limit := shards
+	if limit == 0 {
+		limit = nodes
+	}
+	for i, s := range partition {
+		if s >= limit {
+			return fmt.Errorf("partition assigns node %d to shard %d (have %d)", i, s, limit)
+		}
+	}
+	return nil
 }
 
 // finishLinear validates the cross-line constraints of a linear spec and
 // materializes its sessions.
-func finishLinear(spec *Spec, trunkOverrides map[int]float64, sessions []sessionLine, events []scenario.TransientEvent) (*Spec, error) {
+func finishLinear(spec *Spec, trunkOverrides map[int]float64, sessions []sessionLine, events []scenario.TransientEvent, shards int, partition []int) (*Spec, error) {
 	cfg := &spec.Config
 	if cfg.Switches == 0 {
 		cfg.Switches = 2
 	}
+	if err := validatePartition(cfg.Switches, shards, partition); err != nil {
+		return nil, err
+	}
+	cfg.Shards = shards
+	cfg.Partition = partition
 	if trunkOverrides != nil {
 		rates := make([]float64, cfg.Switches-1)
 		for k, v := range trunkOverrides {
@@ -379,9 +437,12 @@ func finishLinear(spec *Spec, trunkOverrides map[int]float64, sessions []session
 
 // finishGraph validates the cross-line constraints of a graph spec and
 // assembles the GraphConfig.
-func finishGraph(spec *Spec, nodes int, edges []scenario.GraphEdge, sessions []sessionLine, events []scenario.TransientEvent) (*Spec, error) {
+func finishGraph(spec *Spec, nodes int, edges []scenario.GraphEdge, sessions []sessionLine, events []scenario.TransientEvent, shards int, partition []int) (*Spec, error) {
 	if nodes == 0 {
 		return nil, fmt.Errorf("graph spec needs a nodes directive")
+	}
+	if err := validatePartition(nodes, shards, partition); err != nil {
+		return nil, err
 	}
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("graph spec needs at least one edge")
@@ -406,6 +467,8 @@ func finishGraph(spec *Spec, nodes int, edges []scenario.GraphEdge, sessions []s
 		Alg:           cfg.Alg,
 		Events:        events,
 		Duration:      spec.Duration,
+		Shards:        shards,
+		Partition:     partition,
 	}
 	budget := maxRandTransitions
 	for _, s := range sessions {

@@ -307,6 +307,28 @@ func Merge(dst, src map[string]uint64) {
 	}
 }
 
+// AbsorbDelta folds a live registry's growth into dst: for every name in
+// cur, counters (and histogram buckets, which snapshot as counters) gain
+// cur−prev and peak gauges observe cur's value. prev must be the cur of
+// the previous absorption (nil the first time). This is how a sharded
+// run's coordinator accumulates per-shard registries into the caller's
+// registry across repeated Run calls without double-counting: absorbing
+// snapshots keeps the live per-shard registries single-goroutine, and the
+// sorted iteration keeps dst's registration order deterministic.
+func AbsorbDelta(dst *Registry, cur, prev map[string]uint64) {
+	if dst == nil || len(cur) == 0 {
+		return
+	}
+	for _, name := range Names(cur) {
+		v := cur[name]
+		if strings.HasSuffix(name, PeakSuffix) {
+			dst.Gauge(name).Observe(v)
+		} else if d := v - prev[name]; d > 0 {
+			dst.Counter(name).Add(d)
+		}
+	}
+}
+
 // Names returns the snapshot's keys sorted, the iteration order for any
 // rendered output (text report, Prometheus exposition, JSON golden).
 func Names(snap map[string]uint64) []string {
