@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/exp"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// queryBenchStats is one daemon query's measured cost in the artifact:
+// end-to-end latency over HTTP plus the pushdown work from the trailer.
+type queryBenchStats struct {
+	Rows            int     `json:"rows"`
+	Blocks          int     `json:"blocks"`
+	BlocksScanned   int     `json:"blocks_scanned"`
+	BlocksSkipped   int     `json:"blocks_skipped"`
+	BytesRead       int64   `json:"bytes_read"`
+	Millis          float64 `json:"wall_ms"`
+	MillisPerRepeat float64 `json:"wall_ms_per_repeat"`
+}
+
+// TestQueryBenchArtifact measures the daemon analytics plane on the same
+// 10⁴-run synthetic campaign as the store benchmark — windowed series
+// latency (where the block index must carry the query) and a full summary
+// aggregation — and writes BENCH_query.json to the path in
+// BENCH_QUERY_OUT. The windowed query gates on its trailer: scanning more
+// than one block means pushdown broke somewhere between the URL and the
+// store.
+func TestQueryBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_QUERY_OUT")
+	if out == "" {
+		t.Skip("set BENCH_QUERY_OUT=<path> to write the query benchmark artifact")
+	}
+
+	data := t.TempDir()
+	if _, err := writeBenchCampaign(filepath.Join(data, "job-bench"), store.CompressionFlate); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon adopts the campaign from its data root at startup.
+	s := serve.New(serve.Config{Dir: data})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		s.Drain()
+		ts.Close()
+	}()
+	client := api.NewClient(ts.URL)
+
+	const repeats = 20
+	measure := func(path string, q store.Query) queryBenchStats {
+		t.Helper()
+		var last api.QueryStats
+		var rows int
+		start := time.Now()
+		for i := 0; i < repeats; i++ {
+			rows = 0
+			stats, err := client.QueryNDJSON(path, api.QueryValues(q),
+				func([]byte) error { rows++; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = stats
+		}
+		elapsed := time.Since(start)
+		return queryBenchStats{
+			Rows:            rows,
+			Blocks:          last.Blocks,
+			BlocksScanned:   last.BlocksScanned,
+			BlocksSkipped:   last.BlocksSkipped,
+			BytesRead:       last.BytesRead,
+			Millis:          float64(elapsed.Microseconds()) / 1000,
+			MillisPerRepeat: float64(elapsed.Microseconds()) / 1000 / repeats,
+		}
+	}
+
+	const target = 7_321
+	window := measure(api.PathPrefix+"/jobs/job-bench/series", store.Query{
+		Name:  "acr",
+		Sweep: store.AnySweep,
+		From:  sim.Time(1000 * target),
+		To:    sim.Time(1000*target + 63),
+	})
+	// The pushdown gate: a one-run window over 10⁴ runs must cost one
+	// decompression, and the trailer must say so.
+	if window.BlocksScanned != 1 {
+		t.Errorf("windowed daemon query scanned %d blocks, want 1 — pushdown regressed", window.BlocksScanned)
+	}
+	if window.BlocksSkipped != benchCampaignRuns-1 {
+		t.Errorf("windowed daemon query skipped %d blocks, want %d", window.BlocksSkipped, benchCampaignRuns-1)
+	}
+	if window.Rows != 1 {
+		t.Errorf("windowed daemon query returned %d rows, want 1", window.Rows)
+	}
+
+	full := measure(api.PathPrefix+"/jobs/job-bench/summary", store.Query{Sweep: store.AnySweep})
+	if full.Rows != benchCampaignRuns {
+		t.Errorf("full summary stream returned %d rows, want %d", full.Rows, benchCampaignRuns)
+	}
+
+	artifact := struct {
+		SchemaVersion int             `json:"schema_version"`
+		CampaignRuns  int             `json:"campaign_runs"`
+		Repeats       int             `json:"repeats"`
+		WindowQuery   queryBenchStats `json:"series_window_query"`
+		FullSummary   queryBenchStats `json:"summary_full_stream"`
+	}{
+		SchemaVersion: exp.SchemaVersion,
+		CampaignRuns:  benchCampaignRuns,
+		Repeats:       repeats,
+		WindowQuery:   window,
+		FullSummary:   full,
+	}
+	b, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log(fmt.Sprintf("wrote %s (window %.2f ms/query scanning %d of %d blocks; full summary %.2f ms/query)",
+		out, artifact.WindowQuery.MillisPerRepeat, artifact.WindowQuery.BlocksScanned,
+		artifact.WindowQuery.Blocks, artifact.FullSummary.MillisPerRepeat))
+}

@@ -125,6 +125,7 @@ func runLocal(c *cli.Common, spec api.JobSpec, freezeDir string) int {
 	fleet := &runner.Fleet{Workers: c.Workers, Telemetry: c.Telemetry, Store: sw}
 	if c.HTTPAddr != "" {
 		state := cli.NewLiveState(len(expn.Jobs))
+		state.SetPprof(c.Pprof)
 		cli.AttachLive(fleet, state)
 		stop, err := cli.ServeLive(c.HTTPAddr, state)
 		if err != nil {

@@ -42,6 +42,7 @@ func run() int {
 		JobWorkers:   *jobsN,
 		FleetWorkers: c.Workers,
 		Scheduler:    c.Scheduler,
+		Pprof:        c.Pprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -189,6 +189,7 @@ func runLocal(c *cli.Common, spec api.JobSpec, verbose bool) (*api.Report, int) 
 	fleet.Store = sw
 	if c.HTTPAddr != "" {
 		state := cli.NewLiveState(len(expn.Jobs))
+		state.SetPprof(c.Pprof)
 		cli.AttachLive(fleet, state)
 		stop, err := cli.ServeLive(c.HTTPAddr, state)
 		if err != nil {

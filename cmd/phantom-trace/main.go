@@ -1,6 +1,8 @@
-// Command phantom-trace inspects recorded observability data in either of
+// Command phantom-trace inspects recorded observability data in any of
 // its persisted forms: the JSONL flight-recorder exports written by
-// -trace-dir, or a phantomdb campaign directory written by -store.
+// -trace-dir, a phantomdb campaign directory written by -store, or — with
+// -remote — a phantom-serve daemon's analytics endpoints over the same
+// filters.
 //
 // JSONL mode loads one or more exports, filters by component, kind, detail
 // substring and time window, and either prints the matching events,
@@ -12,10 +14,17 @@
 // loading it: the block index narrows by experiment, sweep, component and
 // time window first, and only matching blocks are decompressed.
 //
+// Remote mode (-remote addr -job id) runs the same query against a
+// daemon's job store; the daemon does the pushdown and streams rows back,
+// and the output is byte-identical to running -store against the same
+// campaign directory. Without -job, -counters and -results fan out over
+// every job store on the daemon (cross-job aggregation).
+//
 // Usage:
 //
 //	phantom-trace [flags] file.jsonl [file.jsonl ...]
 //	phantom-trace -store dir [flags]
+//	phantom-trace -remote addr [-job id] [flags]
 //
 //	-component s   component name (substring in JSONL mode, exact in store mode)
 //	-kind s        substring match on the event kind (e.g. 'drop', 'rate')
@@ -26,6 +35,8 @@
 //	-json          re-emit the selected events as JSONL on stdout
 //
 //	-store dir     query a phantomdb campaign directory instead of JSONL files
+//	-remote addr   query a phantom-serve daemon instead of local files
+//	-job id        daemon job whose store to query (remote mode)
 //	-experiment s  exact experiment id filter (store mode)
 //	-sweep n       sweep index, -1 = all (store mode)
 //	-series name   print the named series' points instead of trace events
@@ -40,15 +51,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sort"
-	"strings"
-	"time"
 
+	"repro/internal/api"
+	"repro/internal/cli"
 	"repro/internal/sim"
 	"repro/internal/store"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -63,6 +72,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "re-emit the selected events as JSONL")
 
 		storeDir  = flag.String("store", "", "query a phantomdb campaign directory instead of JSONL files")
+		remote    = flag.String("remote", "", "query a phantom-serve daemon at this address instead of local files")
+		jobID     = flag.String("job", "", "daemon job whose store to query (remote mode)")
 		exp       = flag.String("experiment", "", "exact experiment id filter (store mode)")
 		sweep     = flag.Int("sweep", store.AnySweep, "sweep index, -1 = all (store mode)")
 		series    = flag.String("series", "", "print the named series' points instead of trace events (store mode)")
@@ -72,19 +83,65 @@ func main() {
 	)
 	flag.Parse()
 
-	if *storeDir != "" {
-		runStore(storeOpts{
-			dir: *storeDir, experiment: *exp, sweep: *sweep,
-			component: *component, kind: *kind, detail: *detail,
-			from: sim.Time(*from), to: sim.Time(*to),
-			series: *series, counters: *counters, results: *results,
-			summary: *summary, jsonOut: *jsonOut, scanStats: *scanStats,
-		})
+	if *storeDir != "" && *remote != "" {
+		fatal(fmt.Errorf("-store and -remote are mutually exclusive"))
+	}
+
+	if *storeDir != "" || *remote != "" {
+		q := store.Query{
+			Experiment: *exp,
+			Name:       *series,
+			Sweep:      *sweep,
+			From:       sim.Time(*from),
+			To:         sim.Time(*to),
+		}
+		if *series == "" && !*counters && !*results {
+			q.Component = *component
+		}
+		o := cli.TraceQueryOpts{
+			Query: q, Counters: *counters, Results: *results,
+			Kind: *kind, Detail: *detail, Summary: *summary, JSON: *jsonOut,
+		}
+
+		var src api.QuerySource
+		switch {
+		case *storeDir != "":
+			r, err := store.Open(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			src = api.LocalSource{R: r}
+		case *jobID != "":
+			src = &api.RemoteSource{C: api.NewClient(*remote), Job: *jobID}
+		default:
+			// Cross-job mode: aggregate over every job store on the daemon.
+			if *series != "" || !(*counters || *results) {
+				fatal(fmt.Errorf("-remote without -job supports only -counters and -results (cross-job aggregation); use -job for series and traces"))
+			}
+			kind := "summary"
+			if *counters {
+				kind = "counters"
+			}
+			stats, err := cli.RunCrossQuery(os.Stdout, api.NewClient(*remote), kind, nil, q)
+			if err != nil {
+				fatal(err)
+			}
+			if *scanStats {
+				cli.PrintScanStats(os.Stderr, "phantom-trace", stats)
+			}
+			return
+		}
+		if err := cli.RunTraceQuery(os.Stdout, src, o); err != nil {
+			fatal(err)
+		}
+		if *scanStats {
+			cli.PrintScanStats(os.Stderr, "phantom-trace", src.Stats())
+		}
 		return
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "phantom-trace: no input (expected JSONL exports from -trace-dir, or -store dir)")
+		fmt.Fprintln(os.Stderr, "phantom-trace: no input (expected JSONL exports from -trace-dir, or -store dir, or -remote addr)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,211 +182,12 @@ func main() {
 			fatal(err)
 		}
 	case *summary:
-		printSummary(matched)
+		cli.PrintTraceSummary(os.Stdout, matched)
 	default:
 		for _, e := range matched {
 			fmt.Println(e.String())
 		}
 	}
-}
-
-type storeOpts struct {
-	dir        string
-	experiment string
-	sweep      int
-	component  string
-	kind       string
-	detail     string
-	from, to   sim.Time
-	series     string
-	counters   bool
-	results    bool
-	summary    bool
-	jsonOut    bool
-	scanStats  bool
-}
-
-// runStore answers one store-mode query. The Query's index-backed fields
-// (experiment, sweep, component, window) are pushed down so non-matching
-// blocks are skipped without decompression; kind/detail substrings are
-// post-filters on the events that come back.
-func runStore(o storeOpts) {
-	r, err := store.Open(o.dir)
-	if err != nil {
-		fatal(err)
-	}
-	q := store.Query{
-		Experiment: o.experiment,
-		Sweep:      o.sweep,
-		From:       o.from,
-		To:         o.to,
-	}
-	switch {
-	case o.series != "":
-		q.Name = o.series
-		err = printSeries(r, q)
-	case o.counters:
-		err = printCounters(r, q)
-	case o.results:
-		err = printResults(r, q)
-	default:
-		q.Component = o.component
-		err = runStoreTrace(r, q, o)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if o.scanStats {
-		s := r.Stats()
-		fmt.Fprintf(os.Stderr, "phantom-trace: %d files, %d blocks: scanned %d, skipped %d, read %d bytes\n",
-			s.Files, s.Blocks, s.BlocksScanned, s.BlocksSkipped, s.BytesRead)
-	}
-}
-
-// printSeries streams series points as "experiment sweep time value" rows.
-func printSeries(r *store.Reader, q store.Query) error {
-	return r.Series(q, func(c store.SeriesChunk) error {
-		for _, p := range c.Points {
-			fmt.Printf("%-24s %4d %14s %g\n", c.Experiment, c.Sweep, p.T, p.V)
-		}
-		return nil
-	})
-}
-
-// printCounters merges every matching run's telemetry snapshot (sum for
-// counters, max for _peak gauges) and renders the totals.
-func printCounters(r *store.Reader, q store.Query) error {
-	total := map[string]uint64{}
-	runs := 0
-	err := r.Counters(q, func(rc store.RunCounters) error {
-		telemetry.Merge(total, rc.Counters)
-		runs++
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%d runs\n", runs)
-	_, err = telemetry.WriteText(os.Stdout, total, "  ")
-	return err
-}
-
-// printResults aggregates the scalar summary metrics of every matching
-// run: per metric, the run count, mean, min and max.
-func printResults(r *store.Reader, q store.Query) error {
-	type agg struct {
-		n        int
-		sum      float64
-		min, max float64
-	}
-	metrics := map[string]*agg{}
-	runs := 0
-	err := r.Summaries(q, func(rs store.RunSummary) error {
-		runs++
-		for name, v := range rs.Summary {
-			a, ok := metrics[name]
-			if !ok {
-				a = &agg{min: math.Inf(1), max: math.Inf(-1)}
-				metrics[name] = a
-			}
-			a.n++
-			a.sum += v
-			a.min = math.Min(a.min, v)
-			a.max = math.Max(a.max, v)
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%d runs\n", runs)
-	names := make([]string, 0, len(metrics))
-	for name := range metrics {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) > 0 {
-		fmt.Printf("  %-32s %6s %14s %14s %14s\n", "metric", "runs", "mean", "min", "max")
-	}
-	for _, name := range names {
-		a := metrics[name]
-		fmt.Printf("  %-32s %6d %14.6g %14.6g %14.6g\n", name, a.n, a.sum/float64(a.n), a.min, a.max)
-	}
-	return nil
-}
-
-// runStoreTrace streams trace events through the JSONL-mode output paths.
-func runStoreTrace(r *store.Reader, q store.Query, o storeOpts) error {
-	post := trace.Query{Kind: o.kind, Detail: o.detail}
-	var events []trace.Event
-	err := r.Trace(q, func(c store.TraceChunk) error {
-		events = append(events, trace.SelectEvents(c.Events, post)...)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	switch {
-	case o.jsonOut:
-		return trace.WriteJSONL(os.Stdout, events)
-	case o.summary:
-		printSummary(events)
-	default:
-		for _, e := range events {
-			fmt.Println(e.String())
-		}
-	}
-	return nil
-}
-
-// printSummary renders per-(component, kind) counts and event rates over
-// each group's own first-to-last span, then a total line.
-func printSummary(events []trace.Event) {
-	if len(events) == 0 {
-		fmt.Println("0 events")
-		return
-	}
-	type stats struct {
-		count       int
-		first, last sim.Time
-	}
-	groups := map[string]*stats{}
-	for i := range events {
-		e := &events[i]
-		key := e.Component + "\x00" + e.Kind
-		g, ok := groups[key]
-		if !ok {
-			g = &stats{first: e.T, last: e.T}
-			groups[key] = g
-		}
-		g.count++
-		if e.T < g.first {
-			g.first = e.T
-		}
-		if e.T > g.last {
-			g.last = e.T
-		}
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	fmt.Printf("%-16s %-12s %10s %12s %12s %12s\n",
-		"component", "kind", "count", "first", "last", "rate/s")
-	for _, k := range keys {
-		g := groups[k]
-		sep := strings.IndexByte(k, 0)
-		comp, kind := k[:sep], k[sep+1:]
-		rate := 0.0
-		if span := g.last.Sub(g.first).Seconds(); span > 0 {
-			rate = float64(g.count) / span
-		}
-		fmt.Printf("%-16s %-12s %10d %12s %12s %12.1f\n",
-			comp, kind, g.count, g.first, g.last, rate)
-	}
-	span := events[len(events)-1].T.Sub(events[0].T)
-	fmt.Printf("\n%d events over %v of simulated time\n", len(events), time.Duration(span))
 }
 
 func fatal(err error) {

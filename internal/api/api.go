@@ -282,8 +282,12 @@ type JobStatus struct {
 	CanceledRuns int    `json:"canceled_runs,omitempty"`
 	Error        string `json:"error,omitempty"`
 	// Store is the job's campaign directory on the daemon host (empty when
-	// the daemon runs storeless); query it with phantom-trace -store.
+	// the daemon runs storeless); query it with phantom-trace -store, or
+	// remotely through the job's analytics endpoints.
 	Store string `json:"store,omitempty"`
+	// Adopted marks a campaign the daemon found in its data root at
+	// startup rather than ran itself: queryable, but with no run history.
+	Adopted bool `json:"adopted,omitempty"`
 
 	SubmittedUnixMS int64 `json:"submitted_unix_ms,omitempty"`
 	StartedUnixMS   int64 `json:"started_unix_ms,omitempty"`

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Client talks the versioned job API to a phantom-serve daemon. The zero
@@ -158,6 +161,73 @@ func (c *Client) Results(id string, onRun func(RunResult)) (*Report, error) {
 		return nil, err
 	}
 	return nil, fmt.Errorf("api: results stream ended without a terminal report")
+}
+
+// QueryNDJSON issues a GET against an analytics endpoint, hands each
+// non-empty NDJSON line to onRow, and returns the scan statistics from the
+// Phantom-Scan-Stats trailer. A missing trailer is an error: it means the
+// body was truncated (trailers only arrive after a complete chunked
+// stream) or the server predates the analytics plane.
+func (c *Client) QueryNDJSON(path string, v url.Values, onRow func(line []byte) error) (QueryStats, error) {
+	var stats QueryStats
+	u := c.Base + path
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return stats, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := onRow(line); err != nil {
+			return stats, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	t := resp.Trailer.Get(TrailerScanStats)
+	if t == "" {
+		return stats, fmt.Errorf("api: response missing %s trailer (truncated stream?)", TrailerScanStats)
+	}
+	if err := json.Unmarshal([]byte(t), &stats); err != nil {
+		return stats, fmt.Errorf("api: bad %s trailer: %w", TrailerScanStats, err)
+	}
+	return stats, nil
+}
+
+// CrossSummaries runs a summary aggregation over many job stores (nil
+// jobs: every job with a store). Rows arrive sorted by (experiment, sweep,
+// metric).
+func (c *Client) CrossSummaries(jobs []string, q store.Query, fn func(AggregateRow) error) (QueryStats, error) {
+	return c.QueryNDJSON(PathPrefix+"/query", crossValues("summary", jobs, q), decodeRow(fn))
+}
+
+// CrossCounters merges telemetry snapshots over many job stores (nil
+// jobs: every job with a store). Rows arrive sorted by (experiment, sweep)
+// with Runs counting the merged snapshots.
+func (c *Client) CrossCounters(jobs []string, q store.Query, fn func(CountersRow) error) (QueryStats, error) {
+	return c.QueryNDJSON(PathPrefix+"/query", crossValues("counters", jobs, q), decodeRow(fn))
+}
+
+// crossValues encodes the cross-job query parameters.
+func crossValues(kind string, jobs []string, q store.Query) url.Values {
+	v := QueryValues(q)
+	v.Set("kind", kind)
+	if len(jobs) > 0 {
+		v.Set("jobs", strings.Join(jobs, ","))
+	}
+	return v
 }
 
 // Wait polls until the job reaches a terminal state. Results is the

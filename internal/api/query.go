@@ -1,0 +1,304 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// The analytics plane: GET /v1/jobs/{id}/{summary,series,counters,trace}
+// stream NDJSON rows straight from a job's phantomdb block index, and
+// GET /v1/query fans one query over many job stores. Every response ends
+// with a Phantom-Scan-Stats trailer carrying the query's pushdown work,
+// so clients can see how much of the campaign the index let them skip.
+
+// TrailerScanStats is the HTTP trailer each analytics response carries:
+// a QueryStats JSON object, written after the NDJSON body so it reflects
+// the whole scan.
+const TrailerScanStats = "Phantom-Scan-Stats"
+
+// QueryStats is the wire form of store.ScanStats, plus the job fan-out
+// count for cross-job queries.
+type QueryStats struct {
+	// Jobs is how many job stores a cross-job query visited (0 on
+	// single-job endpoints).
+	Jobs            int   `json:"jobs,omitempty"`
+	Files           int   `json:"files"`
+	FilesInProgress int   `json:"files_in_progress,omitempty"`
+	Blocks          int   `json:"blocks"`
+	BlocksScanned   int   `json:"blocks_scanned"`
+	BlocksSkipped   int   `json:"blocks_skipped"`
+	BytesRead       int64 `json:"bytes_read"`
+}
+
+// WireScanStats converts reader scan statistics to their wire form.
+func WireScanStats(s store.ScanStats) QueryStats {
+	return QueryStats{
+		Files:           s.Files,
+		FilesInProgress: s.FilesInProgress,
+		Blocks:          s.Blocks,
+		BlocksScanned:   s.BlocksScanned,
+		BlocksSkipped:   s.BlocksSkipped,
+		BytesRead:       s.BytesRead,
+	}
+}
+
+// Add folds another reader's scan statistics into the totals.
+func (a *QueryStats) Add(s store.ScanStats) {
+	a.Files += s.Files
+	a.FilesInProgress += s.FilesInProgress
+	a.Blocks += s.Blocks
+	a.BlocksScanned += s.BlocksScanned
+	a.BlocksSkipped += s.BlocksSkipped
+	a.BytesRead += s.BytesRead
+}
+
+// QueryValues encodes a store query as URL parameters — the exact inverse
+// of ParseStoreQuery, so a query round-trips the wire unchanged and remote
+// pushdown matches local pushdown block for block.
+func QueryValues(q store.Query) url.Values {
+	v := url.Values{}
+	if q.Experiment != "" {
+		v.Set("experiment", q.Experiment)
+	}
+	if q.Name != "" {
+		v.Set("name", q.Name)
+	}
+	if q.Component != "" {
+		v.Set("component", q.Component)
+	}
+	if q.Sweep >= 0 {
+		v.Set("sweep", strconv.Itoa(q.Sweep))
+	}
+	if q.From != 0 {
+		v.Set("from", strconv.FormatInt(int64(q.From), 10))
+	}
+	if q.To != 0 {
+		v.Set("to", strconv.FormatInt(int64(q.To), 10))
+	}
+	return v
+}
+
+// parseSimTime accepts either raw simulated nanoseconds ("250000000") or a
+// Go duration ("250ms") — the first is what QueryValues emits, the second
+// is what a human types into curl.
+func parseSimTime(s string) (sim.Time, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sim.Time(n), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("api: bad time %q (want nanoseconds or a duration like 250ms)", s)
+	}
+	return sim.Time(d), nil
+}
+
+// ParseStoreQuery decodes the analytics query parameters into a store
+// query. Absent parameters keep their match-everything defaults (sweep:
+// all points).
+func ParseStoreQuery(v url.Values) (store.Query, error) {
+	q := store.Query{
+		Experiment: v.Get("experiment"),
+		Name:       v.Get("name"),
+		Component:  v.Get("component"),
+		Sweep:      store.AnySweep,
+	}
+	if s := v.Get("sweep"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < store.AnySweep {
+			return q, fmt.Errorf("api: bad sweep %q (want an index, or -1 for all)", s)
+		}
+		q.Sweep = n
+	}
+	var err error
+	if s := v.Get("from"); s != "" {
+		if q.From, err = parseSimTime(s); err != nil {
+			return q, err
+		}
+	}
+	if s := v.Get("to"); s != "" {
+		if q.To, err = parseSimTime(s); err != nil {
+			return q, err
+		}
+	}
+	return q, nil
+}
+
+// --- NDJSON row shapes ---
+
+// PointWire is one series sample: simulated nanoseconds, value.
+type PointWire struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// SeriesRow is one block's worth of one run's series points — the NDJSON
+// row of /v1/jobs/{id}/series. A long series spans several rows, in time
+// order.
+type SeriesRow struct {
+	Experiment string      `json:"experiment"`
+	Sweep      int         `json:"sweep"`
+	Name       string      `json:"name"`
+	Points     []PointWire `json:"points"`
+}
+
+// SummaryRow is one run's scalar summary metrics — the NDJSON row of
+// /v1/jobs/{id}/summary.
+type SummaryRow struct {
+	Experiment string             `json:"experiment"`
+	Sweep      int                `json:"sweep"`
+	AtNS       int64              `json:"at_ns"`
+	Summary    map[string]float64 `json:"summary"`
+}
+
+// CountersRow is one run's telemetry snapshot — the NDJSON row of
+// /v1/jobs/{id}/counters — or, on the cross-job endpoint, the merge of
+// Runs snapshots sharing (experiment, sweep).
+type CountersRow struct {
+	Experiment string            `json:"experiment"`
+	Sweep      int               `json:"sweep"`
+	AtNS       int64             `json:"at_ns,omitempty"`
+	Runs       int               `json:"runs,omitempty"`
+	Counters   map[string]uint64 `json:"counters"`
+}
+
+// TraceRow is one block's worth of one run's flight-recorder events — the
+// NDJSON row of /v1/jobs/{id}/trace. Events use the trace JSONL wire
+// shape, so they round-trip byte-identically through WriteJSONL.
+type TraceRow struct {
+	Experiment string        `json:"experiment"`
+	Sweep      int           `json:"sweep"`
+	Events     []trace.Event `json:"events"`
+}
+
+// AggregateRow is the cross-job summary aggregate: per (experiment,
+// sweep, metric) over every selected job's runs.
+type AggregateRow struct {
+	Experiment string  `json:"experiment"`
+	Sweep      int     `json:"sweep"`
+	Metric     string  `json:"metric"`
+	Runs       int     `json:"runs"`
+	Sum        float64 `json:"sum"`
+	Mean       float64 `json:"mean"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+}
+
+// QuerySource answers store queries from somewhere: a local campaign
+// directory (LocalSource) or a daemon's analytics endpoints
+// (RemoteSource). phantom-trace renders either through the same printer,
+// which is what makes -store and -remote output byte-identical.
+type QuerySource interface {
+	Series(q store.Query, fn func(store.SeriesChunk) error) error
+	Counters(q store.Query, fn func(store.RunCounters) error) error
+	Summaries(q store.Query, fn func(store.RunSummary) error) error
+	Trace(q store.Query, fn func(store.TraceChunk) error) error
+	// Stats reports the scan work accumulated across this source's queries.
+	Stats() QueryStats
+}
+
+// LocalSource adapts a store reader to the QuerySource interface.
+type LocalSource struct{ R *store.Reader }
+
+func (s LocalSource) Series(q store.Query, fn func(store.SeriesChunk) error) error {
+	return s.R.Series(q, fn)
+}
+func (s LocalSource) Counters(q store.Query, fn func(store.RunCounters) error) error {
+	return s.R.Counters(q, fn)
+}
+func (s LocalSource) Summaries(q store.Query, fn func(store.RunSummary) error) error {
+	return s.R.Summaries(q, fn)
+}
+func (s LocalSource) Trace(q store.Query, fn func(store.TraceChunk) error) error {
+	return s.R.Trace(q, fn)
+}
+func (s LocalSource) Stats() QueryStats { return WireScanStats(s.R.Stats()) }
+
+// RemoteSource answers the same queries from a daemon job's analytics
+// endpoints, decoding the NDJSON rows back into reader chunk types. Stats
+// accumulate from the response trailers, so -scan-stats reports the
+// daemon's pushdown, not the client's.
+type RemoteSource struct {
+	C *Client
+	// Job is the daemon job whose store is queried.
+	Job string
+
+	stats QueryStats
+}
+
+func (s *RemoteSource) Series(q store.Query, fn func(store.SeriesChunk) error) error {
+	return queryRows(s, "series", q, func(row SeriesRow) error {
+		c := store.SeriesChunk{
+			Experiment: row.Experiment, Sweep: row.Sweep, Name: row.Name,
+			Points: make([]metrics.Point, len(row.Points)),
+		}
+		for i, p := range row.Points {
+			c.Points[i] = metrics.Point{T: sim.Time(p.T), V: p.V}
+		}
+		return fn(c)
+	})
+}
+
+func (s *RemoteSource) Counters(q store.Query, fn func(store.RunCounters) error) error {
+	return queryRows(s, "counters", q, func(row CountersRow) error {
+		return fn(store.RunCounters{
+			Experiment: row.Experiment, Sweep: row.Sweep,
+			At: sim.Time(row.AtNS), Counters: row.Counters,
+		})
+	})
+}
+
+func (s *RemoteSource) Summaries(q store.Query, fn func(store.RunSummary) error) error {
+	return queryRows(s, "summary", q, func(row SummaryRow) error {
+		return fn(store.RunSummary{
+			Experiment: row.Experiment, Sweep: row.Sweep,
+			At: sim.Time(row.AtNS), Summary: row.Summary,
+		})
+	})
+}
+
+func (s *RemoteSource) Trace(q store.Query, fn func(store.TraceChunk) error) error {
+	return queryRows(s, "trace", q, func(row TraceRow) error {
+		return fn(store.TraceChunk{Experiment: row.Experiment, Sweep: row.Sweep, Events: row.Events})
+	})
+}
+
+func (s *RemoteSource) Stats() QueryStats { return s.stats }
+
+// queryRows streams one endpoint's NDJSON rows into typed callbacks and
+// folds the response trailer into the source's stats.
+func queryRows[T any](s *RemoteSource, endpoint string, q store.Query, fn func(T) error) error {
+	stats, err := s.C.QueryNDJSON(
+		PathPrefix+"/jobs/"+s.Job+"/"+endpoint, QueryValues(q),
+		decodeRow(fn))
+	s.stats.merge(stats)
+	return err
+}
+
+// decodeRow adapts a typed row callback to the raw-line stream.
+func decodeRow[T any](fn func(T) error) func([]byte) error {
+	return func(line []byte) error {
+		var row T
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("api: bad query row: %w", err)
+		}
+		return fn(row)
+	}
+}
+
+func (a *QueryStats) merge(b QueryStats) {
+	a.Jobs += b.Jobs
+	a.Files += b.Files
+	a.FilesInProgress += b.FilesInProgress
+	a.Blocks += b.Blocks
+	a.BlocksScanned += b.BlocksScanned
+	a.BlocksSkipped += b.BlocksSkipped
+	a.BytesRead += b.BytesRead
+}

@@ -104,6 +104,8 @@ type Common struct {
 	// HTTPAddr, when non-empty, is where the live fleet endpoints serve
 	// while the command runs.
 	HTTPAddr string
+	// Pprof mounts net/http/pprof on the -http (or daemon API) surface.
+	Pprof bool
 	// Submit, when non-empty, is the phantom-serve daemon address the
 	// command's job spec is sent to instead of executing locally.
 	Submit string
@@ -161,6 +163,8 @@ func New(prog string, flags Flags) *Common {
 	if flags&FlagHTTP != 0 {
 		flag.StringVar(&c.HTTPAddr, "http", "",
 			"serve live fleet progress (/status JSON, /metrics Prometheus) on this address while running")
+		flag.BoolVar(&c.Pprof, "pprof", false,
+			"also mount net/http/pprof under /debug/pprof/ on the live HTTP surface")
 	}
 	if flags&FlagSubmit != 0 {
 		flag.StringVar(&c.Submit, "submit", "",

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -32,6 +33,11 @@ type LiveState struct {
 	// extraProm appends extra Prometheus lines to /metrics (the daemon
 	// adds its queue gauges). Called under the lock; keep it quick.
 	extraProm func(w io.Writer)
+	// pprof mounts net/http/pprof under /debug/pprof/ at Register time.
+	// Off by default: profiling endpoints can stall the process (heap
+	// dumps, 30s CPU profiles), so exposing them is an explicit -pprof
+	// opt-in. Set before Register; flipping it later has no effect.
+	pprof bool
 }
 
 // NewLiveState starts a view expecting total runs. Long-running daemons
@@ -141,10 +147,31 @@ func (s *LiveState) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// Register mounts the live endpoints on mux.
+// SetPprof arms profiling endpoints for the next Register call.
+func (s *LiveState) SetPprof(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pprof = on
+}
+
+// Register mounts the live endpoints on mux, plus /debug/pprof/ when
+// SetPprof(true) was called first. The default mux is never involved, so
+// importing net/http/pprof here leaks nothing into binaries that don't
+// opt in.
 func (s *LiveState) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/status", s.ServeStatus)
 	mux.HandleFunc("/metrics", s.ServeMetrics)
+	s.mu.Lock()
+	on := s.pprof
+	s.mu.Unlock()
+	if !on {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // ServeLive starts the -http listener with the live endpoints and returns

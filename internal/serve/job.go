@@ -18,6 +18,9 @@ type job struct {
 	spec     api.JobSpec
 	exp      *api.Expansion
 	storeDir string
+	// adopted marks a pre-existing campaign registered at startup: no
+	// expansion, no runs, terminal from birth — only its store answers.
+	adopted bool
 
 	mu        sync.Mutex
 	state     api.JobState
@@ -51,6 +54,17 @@ func newJob(id string, spec api.JobSpec, exp *api.Expansion, storeDir string) *j
 		landed:    make([]bool, len(exp.Jobs)),
 		submitted: time.Now(),
 		updated:   make(chan struct{}),
+	}
+}
+
+// adoptedJob wraps a pre-existing campaign directory as a terminal job.
+func adoptedJob(id, storeDir string) *job {
+	return &job{
+		id:       id,
+		storeDir: storeDir,
+		adopted:  true,
+		state:    api.JobDone,
+		updated:  make(chan struct{}),
 	}
 }
 
@@ -168,6 +182,7 @@ func (j *job) status() api.JobStatus {
 		CanceledRuns:    j.canceled,
 		Error:           j.errMsg,
 		Store:           j.storeDir,
+		Adopted:         j.adopted,
 		SubmittedUnixMS: unixMS(j.submitted),
 		StartedUnixMS:   unixMS(j.started),
 		FinishedUnixMS:  unixMS(j.finished),

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 
@@ -44,6 +45,8 @@ type Config struct {
 	Scheduler sim.SchedulerKind
 	// TraceRingCap caps per-run flight recorders (0: api.TraceRingDefault).
 	TraceRingCap int
+	// Pprof mounts net/http/pprof on the daemon's HTTP surface.
+	Pprof bool
 }
 
 // Server owns the job table, the queue, and the worker pool. Create with
@@ -52,6 +55,10 @@ type Server struct {
 	cfg  Config
 	live *cli.LiveState
 	mux  *http.ServeMux
+	// index memoizes per-file block indexes across analytics queries, so
+	// re-opening a campaign (live ones on every query) costs a ReadDir plus
+	// one Stat per already-seen file.
+	index *store.Cache
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -59,6 +66,7 @@ type Server struct {
 	nextID   int
 	draining bool
 	queue    chan *job
+	queries  queryStats
 	wg       sync.WaitGroup
 }
 
@@ -73,16 +81,24 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		live:  cli.NewLiveState(0),
+		index: store.NewCache(),
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueDepth),
 	}
-	s.live.SetExtraProm(s.promJobs)
+	s.adoptCampaigns()
+	s.live.SetExtraProm(s.promExtra)
+	s.live.SetPprof(cfg.Pprof)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST "+api.PathPrefix+"/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs", s.handleList)
 	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE "+api.PathPrefix+"/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/summary", s.handleQuerySummary)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/series", s.handleQuerySeries)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/counters", s.handleQueryCounters)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/jobs/{id}/trace", s.handleQueryTrace)
+	s.mux.HandleFunc("GET "+api.PathPrefix+"/query", s.handleCrossQuery)
 	s.live.Register(s.mux)
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
@@ -224,6 +240,45 @@ func (s *Server) lookup(id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// adoptCampaigns lists every subdirectory of the data root that already
+// holds phantomdb files and registers each as a terminal, adopted job —
+// campaigns from previous daemon lives (or dropped in from elsewhere) stay
+// queryable through the analytics endpoints after a restart. Adopted IDs
+// shaped like job-NNNNN advance the ID counter so new submissions never
+// collide with an adopted store directory.
+func (s *Server) adoptCampaigns() {
+	if s.cfg.Dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return // a missing root materializes on the first submission
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.cfg.Dir, e.Name())
+		if pdbs, _ := filepath.Glob(filepath.Join(dir, "*.pdb")); len(pdbs) == 0 {
+			continue
+		}
+		j := adoptedJob(e.Name(), dir)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "job-%05d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+}
+
+// promExtra appends the daemon's /metrics sections: queue gauges plus the
+// analytics counters.
+func (s *Server) promExtra(w io.Writer) {
+	s.promJobs(w)
+	s.promQueries(w)
 }
 
 // promJobs appends the daemon's queue gauges to /metrics.

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -66,12 +67,16 @@ func (q *Query) inWindow(t sim.Time) bool {
 // ScanStats counts index-level work per kind-matching block: Blocks were
 // considered, BlocksScanned were read + decompressed, BlocksSkipped were
 // rejected from the slot alone. BytesRead is compressed bytes fetched.
+// FilesInProgress counts trailing files a live-mode open skipped because a
+// writer had not sealed them yet — non-zero means the answer is a prefix of
+// a still-growing campaign.
 type ScanStats struct {
-	Files         int
-	Blocks        int
-	BlocksScanned int
-	BlocksSkipped int
-	BytesRead     int64
+	Files           int
+	FilesInProgress int
+	Blocks          int
+	BlocksScanned   int
+	BlocksSkipped   int
+	BytesRead       int64
 }
 
 // fileIndex is one campaign file's loaded index.
@@ -91,15 +96,87 @@ type Reader struct {
 // Open loads the block indexes (not the blocks) of every sealed campaign
 // file in dir. An empty campaign (no files) is a valid, empty reader.
 func Open(dir string) (*Reader, error) {
+	return (*Cache)(nil).Open(dir)
+}
+
+// OpenLive opens an in-progress campaign: every sealed file is served,
+// and the trailing file a live Writer is still appending to (unsealed, or
+// sealing concurrently with our header read) is skipped and counted in
+// ScanStats.FilesInProgress. Sealed files are immutable, so a live reader
+// and a concurrent writer never share mutable state — dashboards can query
+// a campaign mid-run and re-open cheaply as new files seal.
+func OpenLive(dir string) (*Reader, error) {
+	return (*Cache)(nil).OpenLive(dir)
+}
+
+// Cache memoizes per-file block indexes across Reader opens. Sealed
+// campaign files never change, so a daemon serving many queries over the
+// same campaigns pays the header+index read once per file, making re-Open
+// on a live campaign cost one ReadDir plus one Stat per file. A nil *Cache
+// is valid and caches nothing. Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	files map[string]cachedIndex
+}
+
+// cachedIndex remembers the file size the index was loaded at; a size
+// mismatch (a recreated path) invalidates the entry.
+type cachedIndex struct {
+	size int64
+	fi   fileIndex
+}
+
+// NewCache returns an empty index cache.
+func NewCache() *Cache { return &Cache{files: make(map[string]cachedIndex)} }
+
+// load returns the file's index, from cache when its size still matches.
+func (c *Cache) load(path string) (fileIndex, error) {
+	if c == nil {
+		return readIndex(path)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	c.mu.Lock()
+	e, ok := c.files[path]
+	c.mu.Unlock()
+	if ok && e.size == info.Size() {
+		return e.fi, nil
+	}
+	fi, err := readIndex(path)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	c.mu.Lock()
+	c.files[path] = cachedIndex{size: info.Size(), fi: fi}
+	c.mu.Unlock()
+	return fi, nil
+}
+
+// Open is Open(dir) with this cache's memoized indexes.
+func (c *Cache) Open(dir string) (*Reader, error) { return c.open(dir, false) }
+
+// OpenLive is OpenLive(dir) with this cache's memoized indexes.
+func (c *Cache) OpenLive(dir string) (*Reader, error) { return c.open(dir, true) }
+
+func (c *Cache) open(dir string, live bool) (*Reader, error) {
 	names, err := campaignFiles(dir)
 	if err != nil {
 		return nil, err
 	}
 	r := &Reader{}
-	for _, name := range names {
+	for i, name := range names {
 		path := filepath.Join(dir, name)
-		fi, err := readIndex(path)
+		fi, err := c.load(path)
 		if err != nil {
+			// Only the last file can legitimately be mid-write: the writer
+			// seals file N before creating N+1. An unreadable index earlier
+			// in the sequence is corruption in any mode.
+			if live && i == len(names)-1 {
+				r.stats.FilesInProgress++
+				continue
+			}
 			return nil, err
 		}
 		r.files = append(r.files, fi)
@@ -152,10 +229,10 @@ func readIndex(path string) (fileIndex, error) {
 // Stats returns the accumulated scan statistics.
 func (r *Reader) Stats() ScanStats { return r.stats }
 
-// ResetStats zeroes the scan counters (Files is preserved).
+// ResetStats zeroes the scan counters (the open-time file counts are
+// preserved).
 func (r *Reader) ResetStats() {
-	files := r.stats.Files
-	r.stats = ScanStats{Files: files}
+	r.stats = ScanStats{Files: r.stats.Files, FilesInProgress: r.stats.FilesInProgress}
 }
 
 // readBlock fetches, CRC-checks and decompresses one block.

@@ -157,9 +157,12 @@ func (g Gauge) Value() uint64 {
 const HistBuckets = 40
 
 // histogram is the shared accumulator behind Histogram handles: a fixed
-// bucket array, recorded into with one shift and one add.
+// bucket array, recorded into with one shift and two adds. sum accumulates
+// the raw observed values so the Prometheus rendering can emit a real
+// histogram _sum line instead of a lower-bound estimate.
 type histogram struct {
 	name   string
+	sum    uint64
 	counts [HistBuckets]uint64
 }
 
@@ -189,11 +192,12 @@ func (r *Registry) Histogram(name string) Histogram {
 // inert.
 type Histogram struct{ h *histogram }
 
-// Observe records v into its log2 bucket: one bits.Len64 and one add, no
+// Observe records v into its log2 bucket: one bits.Len64 and two adds, no
 // branches on the bucket boundaries.
 func (h Histogram) Observe(v uint64) {
 	if h.h != nil {
 		h.h.counts[BucketIndex(v)]++
+		h.h.sum += v
 	}
 }
 
@@ -240,6 +244,13 @@ func BucketName(name string, i int) string {
 	return fmt.Sprintf("%s.b%02d", name, i)
 }
 
+// SumName formats the snapshot key carrying a histogram's summed
+// observations. Like the ".bNN" bucket keys it is a plain sum-merged
+// counter end to end (snapshot, merge, store); only the Prometheus
+// rendering treats it specially. The ".sum" and ".bNN" suffixes are
+// reserved for histograms — do not register counters with them.
+func SumName(name string) string { return name + ".sum" }
+
 // Snapshot copies the registry into a plain name→value map. A nil registry
 // snapshots to nil. The copy is detached: later increments do not show
 // through, which is what makes snapshots safe to merge across goroutines.
@@ -254,10 +265,18 @@ func (r *Registry) Snapshot() map[string]uint64 {
 		out[e.name] = e.v
 	}
 	for _, h := range r.hists {
+		filled := false
 		for i, c := range h.counts {
 			if c != 0 {
 				out[BucketName(h.name, i)] = c
+				filled = true
 			}
+		}
+		if filled {
+			// The sum rides along whenever the histogram observed anything,
+			// even if every observation was zero — _sum 0 with _count > 0 is
+			// a valid histogram; a missing sum would read as no data.
+			out[SumName(h.name)] = h.sum
 		}
 	}
 	if len(out) == 0 {
@@ -278,6 +297,7 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.counts = [HistBuckets]uint64{}
+		h.sum = 0
 	}
 }
 
@@ -357,35 +377,118 @@ func WriteText(w io.Writer, snap map[string]uint64, indent string) (int64, error
 	return n, nil
 }
 
-// WriteProm renders the snapshot in Prometheus text exposition format as a
-// single metric family with the counter name as a label:
+// bucketKey reports whether a snapshot key is a histogram bucket key
+// "base.bNN", returning the base name and bucket index.
+func bucketKey(name string) (base string, bucket int, ok bool) {
+	if len(name) < 5 || name[len(name)-4] != '.' || name[len(name)-3] != 'b' {
+		return "", 0, false
+	}
+	d1, d2 := name[len(name)-2], name[len(name)-1]
+	if d1 < '0' || d1 > '9' || d2 < '0' || d2 > '9' {
+		return "", 0, false
+	}
+	return name[:len(name)-4], int(d1-'0')*10 + int(d2-'0'), true
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+// Plain counters and peaks land in a single family with the dotted name as
+// a label — sidestepping Prometheus's metric-name charset without a lossy
+// sanitization pass, and keeping the family stable as components add
+// counters:
 //
 //	phantom_counter{name="link.cells_sent"} 123456
 //
-// Folding the dotted names into a label sidesteps Prometheus's metric-name
-// charset without a lossy sanitization pass, and keeps the family stable as
-// components add counters. Extra labels (experiment id, run state) are
-// rendered on every sample.
+// Histogram snapshot keys ("base.bNN" buckets plus the "base.sum" total —
+// see Registry.Histogram) are recognized and re-assembled into a native
+// Prometheus histogram, cumulative buckets and all, so queue-depth and
+// latency distributions work with histogram_quantile out of the box:
+//
+//	phantom_hist_bucket{name="link.queue_depth_cells",le="1"} 5
+//	phantom_hist_bucket{name="link.queue_depth_cells",le="+Inf"} 9
+//	phantom_hist_sum{name="link.queue_depth_cells"} 31
+//	phantom_hist_count{name="link.queue_depth_cells"} 9
+//
+// Observations are integers, so bucket i's inclusive le bound is 2^i−1
+// (bucket 0 holds exact zeros: le="0"); the overflow bucket folds into
+// le="+Inf". Extra labels (experiment id, run state) are rendered on every
+// sample of both families.
 func WriteProm(w io.Writer, snap map[string]uint64, labels map[string]string) (int64, error) {
-	var n int64
-	m, err := fmt.Fprintf(w, "# TYPE phantom_counter untyped\n")
-	n += int64(m)
-	if err != nil {
-		return n, err
-	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var extra strings.Builder
+	var lb strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&extra, ",%s=%q", k, labels[k])
+		fmt.Fprintf(&lb, ",%s=%q", k, labels[k])
 	}
-	for _, name := range Names(snap) {
-		m, err := fmt.Fprintf(w, "phantom_counter{name=%q%s} %d\n", name, extra.String(), snap[name])
+	extra := lb.String()
+
+	names := Names(snap)
+	// Histogram bases, discovered from the bucket keys; a ".sum" key only
+	// counts as histogram data when its base has at least one bucket.
+	hists := map[string][]int{}
+	for _, name := range names {
+		if base, b, ok := bucketKey(name); ok {
+			hists[base] = append(hists[base], b)
+		}
+	}
+
+	var n int64
+	emit := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
 		n += int64(m)
-		if err != nil {
+		return err
+	}
+	if err := emit("# TYPE phantom_counter untyped\n"); err != nil {
+		return n, err
+	}
+	for _, name := range names {
+		if _, _, ok := bucketKey(name); ok {
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, ".sum"); ok && hists[base] != nil {
+			continue
+		}
+		if err := emit("phantom_counter{name=%q%s} %d\n", name, extra, snap[name]); err != nil {
+			return n, err
+		}
+	}
+	if len(hists) == 0 {
+		return n, nil
+	}
+	if err := emit("# TYPE phantom_hist histogram\n"); err != nil {
+		return n, err
+	}
+	bases := make([]string, 0, len(hists))
+	for base := range hists {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		buckets := hists[base]
+		sort.Ints(buckets)
+		var cum uint64
+		for _, b := range buckets {
+			cum += snap[BucketName(base, b)]
+			if b >= HistBuckets-1 {
+				continue // the overflow bucket is the +Inf line below
+			}
+			le := "0"
+			if b > 0 {
+				le = fmt.Sprint(uint64(1)<<uint(b) - 1)
+			}
+			if err := emit("phantom_hist_bucket{name=%q,le=%q%s} %d\n", base, le, extra, cum); err != nil {
+				return n, err
+			}
+		}
+		if err := emit("phantom_hist_bucket{name=%q,le=\"+Inf\"%s} %d\n", base, extra, cum); err != nil {
+			return n, err
+		}
+		if err := emit("phantom_hist_sum{name=%q%s} %d\n", base, extra, snap[SumName(base)]); err != nil {
+			return n, err
+		}
+		if err := emit("phantom_hist_count{name=%q%s} %d\n", base, extra, cum); err != nil {
 			return n, err
 		}
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -194,5 +195,57 @@ func TestWriteProm(t *testing.T) {
 	}
 	if !strings.Contains(out, `phantom_counter{name="link.cells_sent",experiment="E01"} 12`) {
 		t.Fatalf("missing sample line:\n%s", out)
+	}
+}
+
+// TestWritePromHistogram pins the native histogram exposition: snapshot
+// bucket keys re-assemble into cumulative _bucket{le=...} lines with the
+// real _sum and _count, and the ".bNN"/".sum" keys themselves never leak
+// into the counter family.
+func TestWritePromHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("link.queue_depth_cells")
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(1) // bucket 1, le="1"
+	h.Observe(3) // bucket 2, le="3"
+	h.Observe(3)
+	h.Observe(1 << 50) // overflow bucket: only visible on the +Inf line
+	r.Counter("link.cells_sent").Add(7)
+
+	var sb strings.Builder
+	if _, err := WriteProm(&sb, r.Snapshot(), map[string]string{"experiment": "E01"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE phantom_hist histogram",
+		`phantom_hist_bucket{name="link.queue_depth_cells",le="0",experiment="E01"} 1`,
+		`phantom_hist_bucket{name="link.queue_depth_cells",le="1",experiment="E01"} 2`,
+		`phantom_hist_bucket{name="link.queue_depth_cells",le="3",experiment="E01"} 4`,
+		`phantom_hist_bucket{name="link.queue_depth_cells",le="+Inf",experiment="E01"} 5`,
+		fmt.Sprintf(`phantom_hist_sum{name="link.queue_depth_cells",experiment="E01"} %d`, 7+uint64(1)<<50),
+		`phantom_hist_count{name="link.queue_depth_cells",experiment="E01"} 5`,
+		`phantom_counter{name="link.cells_sent",experiment="E01"} 7`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{".b0", ".sum"} {
+		if strings.Contains(out, reject) {
+			t.Fatalf("histogram key %q leaked into the counter family:\n%s", reject, out)
+		}
+	}
+}
+
+// TestBucketKey pins the snapshot-key parser against near-miss names.
+func TestBucketKey(t *testing.T) {
+	if base, b, ok := bucketKey("link.queue_depth_cells.b07"); !ok || base != "link.queue_depth_cells" || b != 7 {
+		t.Fatalf("bucketKey = %q,%d,%v", base, b, ok)
+	}
+	for _, miss := range []string{"x.b7", "x.bXY", "x.sum", "b07", "x.b077", "plain"} {
+		if _, _, ok := bucketKey(miss); ok {
+			t.Fatalf("bucketKey accepted %q", miss)
+		}
 	}
 }

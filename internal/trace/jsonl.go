@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/sim"
@@ -29,30 +30,78 @@ type jsonEvent struct {
 	Fields    []jsonField `json:"fields,omitempty"`
 }
 
+// wire converts the event to its JSON shape.
+func (e *Event) wire() jsonEvent {
+	je := jsonEvent{T: int64(e.T), Component: e.Component, Kind: e.Kind}
+	for _, f := range e.Fields() {
+		jf := jsonField{K: f.Key}
+		switch f.kind {
+		case FieldInt:
+			v := f.i
+			jf.I = &v
+		case FieldFloat:
+			v := f.f
+			jf.F = &v
+		case FieldStr:
+			v := f.s
+			jf.S = &v
+		}
+		je.Fields = append(je.Fields, jf)
+	}
+	return je
+}
+
+// fromWire rebuilds the event from its JSON shape. Reports false when the
+// shape is out of contract (more than MaxFields fields).
+func (e *Event) fromWire(je jsonEvent) bool {
+	if len(je.Fields) > MaxFields {
+		return false
+	}
+	*e = Event{T: sim.Time(je.T), Component: je.Component, Kind: je.Kind}
+	for i, jf := range je.Fields {
+		switch {
+		case jf.I != nil:
+			e.fields[i] = I(jf.K, *jf.I)
+		case jf.F != nil:
+			e.fields[i] = F(jf.K, *jf.F)
+		case jf.S != nil:
+			e.fields[i] = S(jf.K, *jf.S)
+		default:
+			e.fields[i] = Field{Key: jf.K}
+		}
+		e.nf++
+	}
+	return true
+}
+
+// MarshalJSON renders the event in the JSONL wire shape, so an Event
+// embedded in a larger envelope (the analytics API's trace rows) uses the
+// exact encoding of an export line and round-trips typed fields.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(e.wire())
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. Unlike ReadJSONL — which
+// skips and counts malformed lines — a malformed embedded event is an
+// error, because an envelope consumer has no skip channel.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(b, &je); err != nil {
+		return err
+	}
+	if !e.fromWire(je) {
+		return fmt.Errorf("trace: event with %d fields (max %d)", len(je.Fields), MaxFields)
+	}
+	return nil
+}
+
 // WriteJSONL writes events as JSON lines. This is the read path — it
 // allocates freely; the hot path is Emit.
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range events {
-		e := &events[i]
-		je := jsonEvent{T: int64(e.T), Component: e.Component, Kind: e.Kind}
-		for _, f := range e.Fields() {
-			jf := jsonField{K: f.Key}
-			switch f.kind {
-			case FieldInt:
-				v := f.i
-				jf.I = &v
-			case FieldFloat:
-				v := f.f
-				jf.F = &v
-			case FieldStr:
-				v := f.s
-				jf.S = &v
-			}
-			je.Fields = append(je.Fields, jf)
-		}
-		if err := enc.Encode(je); err != nil {
+		if err := enc.Encode(events[i].wire()); err != nil {
 			return err
 		}
 	}
@@ -84,23 +133,10 @@ func ReadJSONL(r io.Reader) ([]Event, int, error) {
 			skipped++
 			continue
 		}
-		if len(je.Fields) > MaxFields {
+		var e Event
+		if !e.fromWire(je) {
 			skipped++
 			continue
-		}
-		e := Event{T: sim.Time(je.T), Component: je.Component, Kind: je.Kind}
-		for i, jf := range je.Fields {
-			switch {
-			case jf.I != nil:
-				e.fields[i] = I(jf.K, *jf.I)
-			case jf.F != nil:
-				e.fields[i] = F(jf.K, *jf.F)
-			case jf.S != nil:
-				e.fields[i] = S(jf.K, *jf.S)
-			default:
-				e.fields[i] = Field{Key: jf.K}
-			}
-			e.nf++
 		}
 		out = append(out, e)
 	}
